@@ -1,0 +1,168 @@
+package texcache_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper, regenerating the artifact from a fresh simulation, plus
+// micro-benchmarks of the simulator's hot paths. Benchmarks run the
+// scenes at scale 8 by default so `go test -bench=.` completes quickly;
+// set TEXCACHE_BENCH_SCALE=1 for the paper's full-resolution runs.
+
+import (
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"texcache"
+)
+
+func benchScale() int {
+	if v, err := strconv.Atoi(os.Getenv("TEXCACHE_BENCH_SCALE")); err == nil && v >= 1 {
+		return v
+	}
+	return 8
+}
+
+// benchExperiment regenerates one paper artifact per iteration.
+func benchExperiment(b *testing.B, id string) {
+	cfg := texcache.ExperimentConfig{Scale: benchScale()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := texcache.RunExperiment(id, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_1(b *testing.B)  { benchExperiment(b, "table2.1") }
+func BenchmarkTable4_1(b *testing.B)  { benchExperiment(b, "table4.1") }
+func BenchmarkLocality(b *testing.B)  { benchExperiment(b, "locality") }
+func BenchmarkRunlength(b *testing.B) { benchExperiment(b, "runlength") }
+func BenchmarkFig5_2(b *testing.B)    { benchExperiment(b, "fig5.2") }
+func BenchmarkFig5_4(b *testing.B)    { benchExperiment(b, "fig5.4") }
+func BenchmarkFig5_5(b *testing.B)    { benchExperiment(b, "fig5.5") }
+func BenchmarkFig5_6(b *testing.B)    { benchExperiment(b, "fig5.6") }
+func BenchmarkFig5_7(b *testing.B)    { benchExperiment(b, "fig5.7") }
+func BenchmarkFig5_7NB(b *testing.B)  { benchExperiment(b, "fig5.7nb") }
+func BenchmarkFig6_2(b *testing.B)    { benchExperiment(b, "fig6.2") }
+func BenchmarkFig6_4(b *testing.B)    { benchExperiment(b, "fig6.4") }
+func BenchmarkTable7_1(b *testing.B)  { benchExperiment(b, "table7.1") }
+func BenchmarkBanks(b *testing.B)     { benchExperiment(b, "banks") }
+func BenchmarkWilliams(b *testing.B)  { benchExperiment(b, "williams") }
+
+// Extension experiments (footnote 1 and Section 8 future work).
+func BenchmarkHilbert(b *testing.B)     { benchExperiment(b, "hilbert") }
+func BenchmarkCompress(b *testing.B)    { benchExperiment(b, "compress") }
+func BenchmarkParallel(b *testing.B)    { benchExperiment(b, "parallel") }
+func BenchmarkLatency(b *testing.B)     { benchExperiment(b, "latency") }
+func BenchmarkDRAM(b *testing.B)        { benchExperiment(b, "dram") }
+func BenchmarkPrefetch(b *testing.B)    { benchExperiment(b, "prefetch") }
+func BenchmarkInterframe(b *testing.B)  { benchExperiment(b, "interframe") }
+func BenchmarkReplacement(b *testing.B) { benchExperiment(b, "replacement") }
+func BenchmarkSectored(b *testing.B)    { benchExperiment(b, "sectored") }
+func BenchmarkWorstCase(b *testing.B)   { benchExperiment(b, "worstcase") }
+
+// --- Simulator micro-benchmarks -------------------------------------
+
+// gobletTrace renders the Goblet benchmark once and returns its trace.
+func gobletTrace(b *testing.B) *texcache.Trace {
+	b.Helper()
+	s := texcache.SceneByName("goblet", benchScale())
+	tr, _, err := s.Trace(texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8},
+		s.DefaultTraversal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkCacheAccess measures raw simulator throughput: accesses/sec
+// through a 32KB 2-way cache.
+func BenchmarkCacheAccess(b *testing.B) {
+	tr := gobletTrace(b)
+	c := texcache.NewCache(texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		c.Access(tr.Addrs[n])
+		n++
+		if n == len(tr.Addrs) {
+			n = 0
+		}
+	}
+}
+
+// BenchmarkCacheAccessClassifying measures the 3C-classification slowdown.
+func BenchmarkCacheAccessClassifying(b *testing.B) {
+	tr := gobletTrace(b)
+	c := texcache.NewClassifyingCache(texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		c.Access(tr.Addrs[n])
+		n++
+		if n == len(tr.Addrs) {
+			n = 0
+		}
+	}
+}
+
+// BenchmarkStackDist measures the one-pass working-set profiler.
+func BenchmarkStackDist(b *testing.B) {
+	tr := gobletTrace(b)
+	sd := texcache.NewStackDist(128)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		sd.Access(tr.Addrs[n])
+		n++
+		if n == len(tr.Addrs) {
+			n = 0
+		}
+	}
+}
+
+// BenchmarkRenderFrame measures full-pipeline frame rendering (fragments
+// per second is the metric the Section 7 machine model cares about).
+func BenchmarkRenderFrame(b *testing.B) {
+	s := texcache.SceneByName("goblet", benchScale())
+	b.ResetTimer()
+	var frags uint64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Render(texcache.RenderOptions{
+			Layout:    texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8},
+			Traversal: s.DefaultTraversal(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frags += r.Stats.FragmentsTextured
+	}
+	b.ReportMetric(float64(frags)/b.Elapsed().Seconds(), "fragments/s")
+}
+
+// BenchmarkSamplerTrilinear measures the 8-texel filter path.
+func BenchmarkSamplerTrilinear(b *testing.B) {
+	arena := texcache.NewArena()
+	tex, err := texcache.NewTexture(0, texcache.Noise(256, 256, 1),
+		texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8}, arena)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := texcache.NewRenderer(64, 64)
+	r.Textures = []*texcache.TextureObject{tex}
+	cam := texcache.LookAtCamera(texcache.Vec3{Z: 2}, texcache.Vec3{}, texcache.Vec3{Y: 1},
+		math.Pi/2, 1, 0.1, 10)
+	mesh := &texcache.Mesh{}
+	white := texcache.Vec3{X: 1, Y: 1, Z: 1}
+	v := func(x, y, u, vv float64) texcache.Vertex {
+		return texcache.Vertex{Pos: texcache.Vec3{X: x, Y: y},
+			Normal: texcache.Vec3{Z: 1}, UV: texcache.Vec2{X: u, Y: vv}, Color: white}
+	}
+	mesh.AddQuad(v(-1, -1, 0, 4), v(1, -1, 4, 4), v(1, 1, 4, 0), v(-1, 1, 0, 0), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.FB.Clear()
+		r.DrawMesh(mesh, texcache.Identity(), cam)
+	}
+}

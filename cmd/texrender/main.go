@@ -1,0 +1,92 @@
+// Command texrender renders one of the four benchmark scenes to a PNG and
+// prints its frame statistics, providing the visual verification step of
+// Section 4.1 ("the images allow us to verify that the interpretation of
+// the trace is accurate").
+//
+// Usage:
+//
+//	texrender -scene town -scale 2 -o town.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"texcache/internal/raster"
+	"texcache/internal/scenes"
+	"texcache/internal/texture"
+)
+
+func main() {
+	var (
+		sceneName = flag.String("scene", "goblet", "scene: "+strings.Join(scenes.Names(), ", "))
+		scale     = flag.Int("scale", 2, "resolution divisor (1 = paper's full size)")
+		out       = flag.String("o", "", "output PNG path (default <scene>.png)")
+		order     = flag.String("order", "", "rasterization order: horizontal, vertical (default: the scene's)")
+		tile      = flag.Int("tile", 0, "square screen tile size in pixels (0 = untiled)")
+	)
+	flag.Parse()
+
+	if err := run(*sceneName, *scale, *out, *order, *tile); err != nil {
+		fmt.Fprintln(os.Stderr, "texrender:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sceneName string, scale int, out, order string, tile int) error {
+	s := scenes.ByName(sceneName, scale)
+	if s == nil {
+		return fmt.Errorf("unknown scene %q (have %s)", sceneName, strings.Join(scenes.Names(), ", "))
+	}
+	trav := s.DefaultTraversal()
+	switch order {
+	case "horizontal":
+		trav.Order = raster.RowMajor
+	case "vertical":
+		trav.Order = raster.ColumnMajor
+	case "":
+	default:
+		return fmt.Errorf("unknown order %q", order)
+	}
+	trav.TileW, trav.TileH = tile, tile
+
+	r, err := s.Render(scenes.RenderOptions{
+		Layout:    texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8},
+		Traversal: trav,
+	})
+	if err != nil {
+		return err
+	}
+
+	st := r.Stats
+	fmt.Printf("scene=%s %dx%d order=%s tile=%d\n", s.Name, s.Width, s.Height, trav.Order, tile)
+	fmt.Printf("triangles=%d clipped=%d textured-tris=%d\n",
+		st.TrianglesIn, st.TrianglesClipped, st.TexturedTris)
+	fmt.Printf("fragments: shaded=%d textured=%d covered-pixels=%d (%.0f%% of screen)\n",
+		st.FragmentsShaded, st.FragmentsTextured, r.FB.CoveredPixels(),
+		100*float64(r.FB.CoveredPixels())/float64(s.Width*s.Height))
+	if st.TexturedTris > 0 {
+		fmt.Printf("avg textured triangle: area=%.0f px, bbox %.0fx%.0f\n",
+			st.TriangleAreaSum/float64(st.TexturedTris),
+			st.TriangleWidthSum/float64(st.TexturedTris),
+			st.TriangleHeightSum/float64(st.TexturedTris))
+	}
+	fmt.Printf("textures=%d storage=%.1f MB\n", len(s.Mips),
+		float64(s.TextureStorageBytes())/(1<<20))
+
+	if out == "" {
+		out = s.Name + ".png"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.FB.WritePNG(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return f.Close()
+}

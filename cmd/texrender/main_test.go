@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRendersPNG(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "goblet.png")
+	if err := run("goblet", 8, out, "", 0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("PNG missing: %v", err)
+	}
+}
+
+func TestRunOrderAndTile(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("town", 8, filepath.Join(dir, "a.png"), "horizontal", 8); err != nil {
+		t.Fatalf("horizontal tiled: %v", err)
+	}
+	if err := run("town", 8, filepath.Join(dir, "b.png"), "vertical", 0); err != nil {
+		t.Fatalf("vertical: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 8, "", "", 0); err == nil {
+		t.Error("unknown scene accepted")
+	}
+	if err := run("goblet", 8, "", "diagonal", 0); err == nil {
+		t.Error("unknown order accepted")
+	}
+	if err := run("goblet", 8, "/nonexistent-dir/x.png", "", 0); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

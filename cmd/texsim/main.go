@@ -1,0 +1,74 @@
+// Command texsim regenerates the paper's tables and figures from fresh
+// simulations of the four benchmark scenes.
+//
+// Usage:
+//
+//	texsim -list
+//	texsim -exp fig5.2 -scale 2
+//	texsim -exp all -scale 4 -scenes town,guitar
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"texcache/internal/exp"
+)
+
+func main() {
+	var (
+		id     = flag.String("exp", "", "experiment ID, or 'all'")
+		scale  = flag.Int("scale", 2, "resolution divisor (1 = the paper's full size)")
+		list   = flag.Bool("list", false, "list available experiments")
+		scenes = flag.String("scenes", "", "comma-separated scene subset (default: each experiment's own)")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *id == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := exp.Config{Scale: *scale}
+	if *scenes != "" {
+		cfg.Scenes = strings.Split(*scenes, ",")
+	}
+
+	run := func(e exp.Experiment) error {
+		start := time.Now()
+		fmt.Printf("=== %s: %s (scale %d) ===\n", e.ID, e.Title, *scale)
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *id == "all" {
+		for _, e := range exp.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "texsim:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := exp.Lookup(*id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "texsim: unknown experiment %q; try -list\n", *id)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, "texsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+func TestParseLayout(t *testing.T) {
+	cases := []struct {
+		name string
+		kind texture.LayoutKind
+	}{
+		{"nonblocked", texture.NonBlockedKind},
+		{"blocked", texture.BlockedKind},
+		{"padded", texture.PaddedBlockedKind},
+		{"williams", texture.WilliamsKind},
+	}
+	for _, c := range cases {
+		spec, err := parseLayout(c.name, 8, 4)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if spec.Kind != c.kind {
+			t.Errorf("%s -> %v", c.name, spec.Kind)
+		}
+	}
+	if _, err := parseLayout("bogus", 8, 4); err == nil {
+		t.Error("bogus layout accepted")
+	}
+}
+
+func TestRecordInfoSimRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	if err := record([]string{"-scene", "goblet", "-scale", "8", "-o", path}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	if err := info([]string{path}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := sim([]string{"-size", "8192", "-line", "64", "-ways", "2", path}); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	if err := record([]string{"-scene", "goblet"}); err == nil {
+		t.Error("missing -o accepted")
+	}
+	if err := record([]string{"-scene", "nope", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown scene accepted")
+	}
+	if err := record([]string{"-scene", "goblet", "-order", "diagonal",
+		"-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("bad order accepted")
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	if err := sim([]string{"-size", "1000", "/nonexistent"}); err == nil {
+		t.Error("missing file / bad size accepted")
+	}
+	if err := sim([]string{}); err == nil {
+		t.Error("no file accepted")
+	}
+}
+
+func TestInfoErrors(t *testing.T) {
+	if err := info([]string{}); err == nil {
+		t.Error("no file accepted")
+	}
+	if err := info([]string{"/nonexistent"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLocateSubcommand(t *testing.T) {
+	if err := locate([]string{"-scene", "goblet", "-scale", "8", "0", "64"}); err != nil {
+		t.Fatalf("locate: %v", err)
+	}
+	if err := locate([]string{"-scene", "goblet", "-scale", "8"}); err == nil {
+		t.Error("no addresses accepted")
+	}
+	if err := locate([]string{"-scene", "goblet", "-scale", "8", "zzz"}); err == nil {
+		t.Error("bad address accepted")
+	}
+	if err := locate([]string{"-scene", "nope", "1"}); err == nil {
+		t.Error("unknown scene accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: render a textured quad through the full pipeline, feed the
+// texel address stream into a cache simulator, and report the miss rate
+// breakdown — the library's core loop in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"texcache"
+)
+
+func main() {
+	// A 256x256 brick texture in blocked (8x8-texel) representation.
+	arena := texcache.NewArena()
+	tex, err := texcache.NewTexture(0, texcache.Brick(256, 256),
+		texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8}, arena)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A renderer with a 32KB 2-way cache attached to the texel stream.
+	r := texcache.NewRenderer(512, 512)
+	r.Textures = []*texcache.TextureObject{tex}
+	c := texcache.NewClassifyingCache(texcache.CacheConfig{
+		SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	r.Sink = c.Sink()
+
+	// A quad facing the camera, textured with 2x2 repetitions.
+	mesh := quad(2.0, 0)
+	cam := texcache.LookAtCamera(
+		texcache.Vec3{Z: 2.2}, texcache.Vec3{}, texcache.Vec3{Y: 1},
+		math.Pi/2, 1, 0.1, 10)
+	r.DrawMesh(mesh, texcache.Identity(), cam)
+
+	s := c.Stats()
+	fmt.Printf("fragments textured: %d\n", r.Stats.FragmentsTextured)
+	fmt.Printf("texel accesses:     %d\n", s.Accesses)
+	fmt.Printf("miss rate:          %.2f%% (cold %.2f%%, capacity %.2f%%, conflict %.2f%%)\n",
+		100*s.MissRate(),
+		100*float64(s.Cold)/float64(s.Accesses),
+		100*float64(s.Capacity)/float64(s.Accesses),
+		100*float64(s.Conflict)/float64(s.Accesses))
+
+	model := texcache.DefaultPerfModel()
+	fmt.Printf("bandwidth at 50M fragments/s: %.0f MB/s (uncached: %.0f MB/s)\n",
+		model.BandwidthBytesPerSecond(s.MissRate(), 128)/1e6,
+		model.UncachedBandwidthBytesPerSecond()/1e6)
+
+	f, err := os.Create("quickstart.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := r.FB.WritePNG(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart.png")
+}
+
+// quad builds a unit quad of half-size hs with 2x-repeated UVs.
+func quad(hs float64, texID int) *texcache.Mesh {
+	n := texcache.Vec3{Z: 1}
+	white := texcache.Vec3{X: 1, Y: 1, Z: 1}
+	v := func(x, y, u, vv float64) texcache.Vertex {
+		return texcache.Vertex{
+			Pos: texcache.Vec3{X: x, Y: y}, Normal: n,
+			UV: texcache.Vec2{X: u, Y: vv}, Color: white,
+		}
+	}
+	m := &texcache.Mesh{}
+	m.AddQuad(
+		v(-hs, -hs, 0, 2), v(hs, -hs, 2, 2),
+		v(hs, hs, 2, 0), v(-hs, hs, 0, 0), texID)
+	return m
+}

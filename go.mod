@@ -1,0 +1,3 @@
+module texcache
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package banks models the multi-ported SRAM cache organization of
+// Section 7.1.2: cache data interleaved across four independently
+// addressed banks at texel granularity, so the four texels of a bilinear
+// footprint can be read in one cycle. With morton order (texels stored in
+// 2x2 blocks, one texel of each block per bank) every aligned or
+// unaligned 2x2 footprint touches all four banks; with linear (address)
+// interleaving, footprints that straddle power-of-two row strides collide
+// and take extra cycles.
+package banks
+
+import "texcache/internal/texture"
+
+// Interleave selects how texels map to banks.
+type Interleave int
+
+const (
+	// Morton interleaves by texel coordinate parity: bank = (v&1)<<1|(u&1),
+	// the conflict-free distribution of Section 7.1.2.
+	Morton Interleave = iota
+	// Linear interleaves by memory address: bank = (addr/texelBytes) % 4.
+	Linear
+)
+
+// String names the interleave.
+func (i Interleave) String() string {
+	if i == Linear {
+		return "linear"
+	}
+	return "morton"
+}
+
+// NumBanks is the cache port count of the machine model.
+const NumBanks = 4
+
+// Analyzer consumes the sampler's access events, groups them into the
+// 4-texel bilinear footprints the sampler is documented to emit, and
+// counts the SRAM cycles each footprint needs under both interleaves
+// (the maximum number of texels landing in one bank).
+type Analyzer struct {
+	quads  uint64
+	cycles [2]uint64 // indexed by Interleave
+	buf    [4]texture.AccessEvent
+	n      int
+}
+
+// New returns an empty analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+// Record consumes one access event; every fourth completes a footprint.
+func (a *Analyzer) Record(e texture.AccessEvent) {
+	a.buf[a.n] = e
+	a.n++
+	if a.n < 4 {
+		return
+	}
+	a.n = 0
+	a.quads++
+	a.cycles[Morton] += a.footprintCycles(Morton)
+	a.cycles[Linear] += a.footprintCycles(Linear)
+}
+
+func (a *Analyzer) footprintCycles(il Interleave) uint64 {
+	var perBank [NumBanks]int
+	for _, e := range a.buf {
+		var bank int
+		if il == Morton {
+			bank = (e.TV&1)<<1 | e.TU&1
+		} else {
+			bank = int(e.Addr/texture.TexelBytes) % NumBanks
+		}
+		perBank[bank]++
+	}
+	worst := 0
+	for _, n := range perBank {
+		if n > worst {
+			worst = n
+		}
+	}
+	return uint64(worst)
+}
+
+// Quads returns the number of complete 4-texel footprints analyzed.
+func (a *Analyzer) Quads() uint64 { return a.quads }
+
+// CyclesPerQuad returns the average SRAM cycles one footprint needs under
+// the interleave: 1.0 is perfectly conflict-free.
+func (a *Analyzer) CyclesPerQuad(il Interleave) float64 {
+	if a.quads == 0 {
+		return 0
+	}
+	return float64(a.cycles[il]) / float64(a.quads)
+}
+
+// Speedup returns how much faster morton interleaving reads footprints
+// than linear interleaving on the analyzed trace.
+func (a *Analyzer) Speedup() float64 {
+	m := a.CyclesPerQuad(Morton)
+	if m == 0 {
+		return 0
+	}
+	return a.CyclesPerQuad(Linear) / m
+}

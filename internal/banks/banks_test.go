@@ -1,0 +1,76 @@
+package banks
+
+import (
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+// quad emits one 2x2 bilinear footprint anchored at (u, v), with linear
+// row-major addresses for a texture of width w.
+func quad(a *Analyzer, u, v, w int) {
+	for _, d := range [4][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		tu, tv := u+d[0], v+d[1]
+		a.Record(texture.AccessEvent{
+			TU: tu, TV: tv,
+			Addr: uint64(tv*w+tu) * texture.TexelBytes,
+		})
+	}
+}
+
+func TestMortonAlwaysConflictFree(t *testing.T) {
+	a := New()
+	// Footprints at every alignment: morton never conflicts.
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			quad(a, u, v, 64)
+		}
+	}
+	if a.Quads() != 64 {
+		t.Fatalf("quads = %d", a.Quads())
+	}
+	if got := a.CyclesPerQuad(Morton); got != 1 {
+		t.Errorf("morton cycles/quad = %v, want 1", got)
+	}
+}
+
+func TestLinearInterleaveConflicts(t *testing.T) {
+	a := New()
+	// Power-of-two row stride: texels (u,v) and (u,v+1) are 64 texels
+	// apart -> same bank under linear interleaving; every footprint has
+	// two banks with two accesses each -> 2 cycles.
+	for u := 0; u < 16; u += 2 {
+		quad(a, u, 0, 64)
+	}
+	if got := a.CyclesPerQuad(Linear); got != 2 {
+		t.Errorf("linear cycles/quad = %v, want 2", got)
+	}
+	if got := a.CyclesPerQuad(Morton); got != 1 {
+		t.Errorf("morton cycles/quad = %v, want 1", got)
+	}
+	if a.Speedup() != 2 {
+		t.Errorf("speedup = %v, want 2", a.Speedup())
+	}
+}
+
+func TestEmptyAnalyzer(t *testing.T) {
+	a := New()
+	if a.CyclesPerQuad(Morton) != 0 || a.Speedup() != 0 {
+		t.Error("empty analyzer should report zeros")
+	}
+}
+
+func TestPartialFootprintNotCounted(t *testing.T) {
+	a := New()
+	a.Record(texture.AccessEvent{})
+	a.Record(texture.AccessEvent{})
+	if a.Quads() != 0 {
+		t.Error("incomplete footprint counted")
+	}
+}
+
+func TestInterleaveString(t *testing.T) {
+	if Morton.String() != "morton" || Linear.String() != "linear" {
+		t.Error("interleave names wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package cache
+
+// falru is a fully-associative LRU cache over line addresses with O(1)
+// access. It is used directly for Ways==0 configurations and as the
+// equal-size shadow cache that separates capacity from conflict misses.
+//
+// Entries live in a slab indexed by small ints and are chained into a
+// doubly-linked recency list; a map resolves line address to slot.
+type falru struct {
+	capacity int
+	index    map[uint64]int32
+	nodes    []falruNode
+	head     int32 // most recently used
+	tail     int32 // least recently used
+	free     int32 // head of free list (chained via next)
+}
+
+type falruNode struct {
+	addr       uint64
+	prev, next int32
+}
+
+const nilNode = int32(-1)
+
+func newFALRU(capacity int) *falru {
+	if capacity <= 0 {
+		panic("cache: fully-associative capacity must be positive")
+	}
+	f := &falru{
+		capacity: capacity,
+		index:    make(map[uint64]int32, capacity),
+		nodes:    make([]falruNode, capacity),
+		head:     nilNode,
+		tail:     nilNode,
+	}
+	f.initFreeList()
+	return f
+}
+
+func (f *falru) initFreeList() {
+	for i := range f.nodes {
+		f.nodes[i].next = int32(i + 1)
+	}
+	f.nodes[len(f.nodes)-1].next = nilNode
+	f.free = 0
+}
+
+func (f *falru) reset() {
+	clear(f.index)
+	f.head, f.tail = nilNode, nilNode
+	f.initFreeList()
+}
+
+// access touches addr, returning true on hit. On miss the LRU entry is
+// evicted if the cache is full and addr is inserted as MRU.
+func (f *falru) access(addr uint64) bool {
+	if i, ok := f.index[addr]; ok {
+		f.moveToFront(i)
+		return true
+	}
+	var slot int32
+	if f.free != nilNode {
+		slot = f.free
+		f.free = f.nodes[slot].next
+	} else {
+		// Evict LRU.
+		slot = f.tail
+		delete(f.index, f.nodes[slot].addr)
+		f.unlink(slot)
+	}
+	f.nodes[slot].addr = addr
+	f.pushFront(slot)
+	f.index[addr] = slot
+	return false
+}
+
+func (f *falru) contains(addr uint64) bool {
+	_, ok := f.index[addr]
+	return ok
+}
+
+func (f *falru) len() int { return len(f.index) }
+
+func (f *falru) unlink(i int32) {
+	n := &f.nodes[i]
+	if n.prev != nilNode {
+		f.nodes[n.prev].next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next != nilNode {
+		f.nodes[n.next].prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+}
+
+func (f *falru) pushFront(i int32) {
+	n := &f.nodes[i]
+	n.prev = nilNode
+	n.next = f.head
+	if f.head != nilNode {
+		f.nodes[f.head].prev = i
+	}
+	f.head = i
+	if f.tail == nilNode {
+		f.tail = i
+	}
+}
+
+func (f *falru) moveToFront(i int32) {
+	if f.head == i {
+		return
+	}
+	f.unlink(i)
+	f.pushFront(i)
+}

@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Sectored is a sectored (sub-block) cache: tags are kept at line
+// granularity, but each line is divided into sectors with individual
+// valid bits and a miss fetches only the needed sector. The organization
+// trades the full-line prefetch effect (which Section 5's results show
+// is valuable for blocked textures) against fill traffic: it is the
+// classic alternative when large lines are wanted for tag economy but
+// memory bandwidth is scarce, and the `sectored` experiment quantifies
+// that trade on the texture workloads.
+type Sectored struct {
+	cfg         Config
+	sectorBytes int
+
+	lineShift   uint
+	sectorShift uint
+	sectorsPer  uint
+	setMask     uint64
+	ways        int
+	clock       uint64
+
+	tags  []line   // as in Cache: set-major, way-minor
+	valid []uint64 // per (set,way): sector valid bitmask
+
+	// Stats: Accesses/Misses count sector fetches; TagMisses counts
+	// whole-line allocations.
+	stats     Stats
+	tagMisses uint64
+}
+
+// NewSectored returns a sectored cache with the given organization and
+// sector size. The sector size must be a power of two in [4, LineBytes],
+// and lines may have at most 64 sectors. Only LRU replacement and
+// set-associative organizations are supported.
+func NewSectored(cfg Config, sectorBytes int) (*Sectored, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ways == 0 {
+		return nil, fmt.Errorf("cache: sectored cache requires set associativity")
+	}
+	if cfg.Policy != LRU {
+		return nil, fmt.Errorf("cache: sectored cache supports LRU only")
+	}
+	if sectorBytes < 4 || bits.OnesCount(uint(sectorBytes)) != 1 || sectorBytes > cfg.LineBytes {
+		return nil, fmt.Errorf("cache: sector size %d must be a power of two in [4, %d]",
+			sectorBytes, cfg.LineBytes)
+	}
+	if cfg.LineBytes/sectorBytes > 64 {
+		return nil, fmt.Errorf("cache: more than 64 sectors per line")
+	}
+	s := &Sectored{
+		cfg:         cfg,
+		sectorBytes: sectorBytes,
+		lineShift:   uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		sectorShift: uint(bits.TrailingZeros(uint(sectorBytes))),
+		setMask:     uint64(cfg.NumSets() - 1),
+		ways:        cfg.Ways,
+		tags:        make([]line, cfg.NumLines()),
+		valid:       make([]uint64, cfg.NumLines()),
+	}
+	s.sectorsPer = s.lineShift - s.sectorShift
+	for i := range s.tags {
+		s.tags[i].tag = invalidTag
+	}
+	return s, nil
+}
+
+// Access presents one texel byte address; it returns true when both the
+// line tag and the addressed sector are present.
+func (s *Sectored) Access(addr uint64) bool {
+	lineAddr := addr >> s.lineShift
+	sector := (addr >> s.sectorShift) & ((1 << s.sectorsPer) - 1)
+	sectorBit := uint64(1) << sector
+
+	s.stats.Accesses++
+	s.clock++
+
+	set := int(lineAddr&s.setMask) * s.ways
+	ways := s.tags[set : set+s.ways]
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range ways {
+		if ways[i].tag == lineAddr {
+			ways[i].lastUse = s.clock
+			if s.valid[set+i]&sectorBit != 0 {
+				return true
+			}
+			// Sector miss within a present line: fetch just the sector.
+			s.valid[set+i] |= sectorBit
+			s.stats.Misses++
+			return false
+		}
+		if ways[i].tag == invalidTag {
+			if oldest != 0 {
+				oldest = 0
+				victim = i
+			}
+			continue
+		}
+		if ways[i].lastUse < oldest {
+			oldest = ways[i].lastUse
+			victim = i
+		}
+	}
+	// Line (tag) miss: allocate the line but fetch only this sector.
+	ways[victim] = line{tag: lineAddr, lastUse: s.clock}
+	s.valid[set+victim] = sectorBit
+	s.stats.Misses++
+	s.tagMisses++
+	return false
+}
+
+// Sink returns a Sink view of the sectored cache.
+func (s *Sectored) Sink() Sink {
+	return sinkFunc(func(a uint64) { s.Access(a) })
+}
+
+// Stats returns the sector-granularity counters: Misses counts sector
+// fetches, so BytesFetched(sectorBytes) is the fill traffic.
+func (s *Sectored) Stats() Stats { return s.stats }
+
+// TagMisses returns the number of whole-line allocations.
+func (s *Sectored) TagMisses() uint64 { return s.tagMisses }
+
+// SectorBytes returns the fetch granularity.
+func (s *Sectored) SectorBytes() int { return s.sectorBytes }
+
+// TrafficBytes returns the memory traffic of the fill stream: one sector
+// per miss.
+func (s *Sectored) TrafficBytes() uint64 {
+	return s.stats.Misses * uint64(s.sectorBytes)
+}

@@ -1,0 +1,182 @@
+// Package cost reproduces the Table 2.1 accounting of the computational
+// costs of a fragment generator. The per-phase operation counts are the
+// paper's constants; Counters scales them by the triangles and fragments
+// actually processed in a frame, and by the memory-representation-
+// dependent texel addressing cost of Section 5.
+package cost
+
+import (
+	"fmt"
+	"io"
+
+	"texcache/internal/texture"
+)
+
+// Phase identifies one row of Table 2.1.
+type Phase int
+
+const (
+	// PhaseTriangleSetup is the per-triangle setup row.
+	PhaseTriangleSetup Phase = iota
+	// PhaseRasterShade is per-fragment rasterization and shading.
+	PhaseRasterShade
+	// PhaseLOD is per-fragment level-of-detail computation.
+	PhaseLOD
+	// PhaseTexelCoord is the texel-coordinate computation nearest (u,v,d).
+	PhaseTexelCoord
+	// PhaseTexelAddr is the representation-dependent address calculation.
+	PhaseTexelAddr
+	// PhaseTrilinear is trilinear interpolation (8 texture accesses).
+	PhaseTrilinear
+	// PhaseBilinear is bilinear interpolation (4 texture accesses).
+	PhaseBilinear
+	// PhaseModulate is modulation with the fragment color.
+	PhaseModulate
+	numPhases
+)
+
+// String names the phase as Table 2.1 does.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTriangleSetup:
+		return "Per Triangle Setup"
+	case PhaseRasterShade:
+		return "Per Fragment Rasterization and Shading"
+	case PhaseLOD:
+		return "Level-of-detail, d"
+	case PhaseTexelCoord:
+		return "Texel coordinates nearest (u,v,d)"
+	case PhaseTexelAddr:
+		return "Texel address calculation"
+	case PhaseTrilinear:
+		return "Trilinear Interpolation"
+	case PhaseBilinear:
+		return "Bilinear Interpolation"
+	case PhaseModulate:
+		return "Modulation with fragment color"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Ops is one row's operation counts per unit of work (per triangle for
+// setup, per fragment otherwise).
+type Ops struct {
+	Adds       int // add/subtract/shift class
+	Multiplies int
+	Divides    int
+	Accesses   int // texture memory accesses
+}
+
+// unitCosts transcribes Table 2.1 (Section 2): the unoptimized per-unit
+// computational cost of each fragment-generator phase.
+var unitCosts = [numPhases]Ops{
+	PhaseTriangleSetup: {Adds: 89, Multiplies: 64, Divides: 1},
+	PhaseRasterShade:   {Adds: 11, Multiplies: 1},
+	PhaseLOD:           {Adds: 9, Multiplies: 9},
+	PhaseTexelCoord:    {Adds: 5 + 14, Multiplies: 5},
+	PhaseTexelAddr:     {}, // representation dependent; filled per access
+	PhaseTrilinear:     {Adds: 56, Multiplies: 28, Accesses: 8},
+	PhaseBilinear:      {Adds: 24, Multiplies: 12, Accesses: 4},
+	PhaseModulate:      {Adds: 8, Multiplies: 4},
+}
+
+// UnitCost returns the Table 2.1 per-unit cost of a phase.
+func UnitCost(p Phase) Ops { return unitCosts[p] }
+
+// Counters accumulates operation totals for a frame.
+type Counters struct {
+	Triangles         uint64
+	Fragments         uint64
+	TexturedFragments uint64
+	Bilinear          uint64
+	Trilinear         uint64
+
+	totals [numPhases]struct {
+		Adds, Multiplies, Divides, Accesses uint64
+	}
+}
+
+// NewCounters returns zeroed counters.
+func NewCounters() *Counters { return &Counters{} }
+
+// TriangleSetup charges one triangle's setup cost.
+func (c *Counters) TriangleSetup() {
+	c.Triangles++
+	c.charge(PhaseTriangleSetup, unitCosts[PhaseTriangleSetup], 1)
+}
+
+// FragmentShade charges the rasterization/shading cost of one fragment.
+func (c *Counters) FragmentShade() {
+	c.Fragments++
+	c.charge(PhaseRasterShade, unitCosts[PhaseRasterShade], 1)
+}
+
+// FragmentTexture charges the texturing cost of one fragment: LOD, texel
+// coordinates, the representation-dependent addressing (8 texel addresses
+// for trilinear, 4 for bilinear), filtering, and modulation.
+func (c *Counters) FragmentTexture(bilinear bool, addr texture.AddrCost) {
+	c.TexturedFragments++
+	c.charge(PhaseLOD, unitCosts[PhaseLOD], 1)
+	c.charge(PhaseTexelCoord, unitCosts[PhaseTexelCoord], 1)
+
+	filter := PhaseTrilinear
+	n := uint64(8)
+	if bilinear {
+		filter = PhaseBilinear
+		n = 4
+		c.Bilinear++
+	} else {
+		c.Trilinear++
+	}
+	c.charge(PhaseTexelAddr, Ops{Adds: addr.Adds + addr.Shifts + addr.Ands}, n)
+	c.charge(filter, unitCosts[filter], 1)
+	c.charge(PhaseModulate, unitCosts[PhaseModulate], 1)
+}
+
+func (c *Counters) charge(p Phase, ops Ops, times uint64) {
+	t := &c.totals[p]
+	t.Adds += uint64(ops.Adds) * times
+	t.Multiplies += uint64(ops.Multiplies) * times
+	t.Divides += uint64(ops.Divides) * times
+	t.Accesses += uint64(ops.Accesses) * times
+}
+
+// Total returns the accumulated operations for one phase.
+func (c *Counters) Total(p Phase) (adds, multiplies, divides, accesses uint64) {
+	t := c.totals[p]
+	return t.Adds, t.Multiplies, t.Divides, t.Accesses
+}
+
+// TotalAccesses returns the texture memory accesses across all phases.
+func (c *Counters) TotalAccesses() uint64 {
+	var n uint64
+	for p := Phase(0); p < numPhases; p++ {
+		n += c.totals[p].Accesses
+	}
+	return n
+}
+
+// WriteTable renders the Table 2.1 style summary: per-unit costs plus the
+// frame's accumulated totals.
+func (c *Counters) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-42s %12s %12s %8s %10s\n",
+		"Phase", "Add/Sub/Shift", "Multiply", "Divide", "TexAccess"); err != nil {
+		return err
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		u := unitCosts[p]
+		t := c.totals[p]
+		unit := fmt.Sprintf("%d/%d/%d/%d", u.Adds, u.Multiplies, u.Divides, u.Accesses)
+		if p == PhaseTexelAddr {
+			unit = "per-layout"
+		}
+		if _, err := fmt.Fprintf(w, "%-42s %12d %12d %8d %10d   (unit %s)\n",
+			p, t.Adds, t.Multiplies, t.Divides, t.Accesses, unit); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "triangles=%d fragments=%d textured=%d (trilinear=%d bilinear=%d)\n",
+		c.Triangles, c.Fragments, c.TexturedFragments, c.Trilinear, c.Bilinear)
+	return err
+}

@@ -1,0 +1,99 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+func TestUnitCostsMatchPaper(t *testing.T) {
+	// Spot checks against Table 2.1.
+	if u := UnitCost(PhaseTriangleSetup); u.Adds != 89 || u.Multiplies != 64 || u.Divides != 1 {
+		t.Errorf("triangle setup = %+v", u)
+	}
+	if u := UnitCost(PhaseTrilinear); u.Adds != 56 || u.Multiplies != 28 || u.Accesses != 8 {
+		t.Errorf("trilinear = %+v", u)
+	}
+	if u := UnitCost(PhaseBilinear); u.Adds != 24 || u.Multiplies != 12 || u.Accesses != 4 {
+		t.Errorf("bilinear = %+v", u)
+	}
+	if u := UnitCost(PhaseModulate); u.Adds != 8 || u.Multiplies != 4 {
+		t.Errorf("modulate = %+v", u)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	c := NewCounters()
+	c.TriangleSetup()
+	c.TriangleSetup()
+	adds, muls, divs, _ := c.Total(PhaseTriangleSetup)
+	if adds != 178 || muls != 128 || divs != 2 {
+		t.Errorf("setup totals = %d/%d/%d", adds, muls, divs)
+	}
+	if c.Triangles != 2 {
+		t.Errorf("triangles = %d", c.Triangles)
+	}
+}
+
+func TestFragmentTextureTrilinear(t *testing.T) {
+	c := NewCounters()
+	addr := texture.AddrCost{Adds: 4, Shifts: 1}
+	c.FragmentTexture(false, addr)
+	if c.Trilinear != 1 || c.Bilinear != 0 {
+		t.Error("filter counters wrong")
+	}
+	_, _, _, acc := c.Total(PhaseTrilinear)
+	if acc != 8 {
+		t.Errorf("trilinear accesses = %d, want 8", acc)
+	}
+	// Addressing charged 8 times (once per texel).
+	adds, _, _, _ := c.Total(PhaseTexelAddr)
+	if adds != 8*5 {
+		t.Errorf("addressing adds = %d, want 40", adds)
+	}
+	if c.TotalAccesses() != 8 {
+		t.Errorf("TotalAccesses = %d", c.TotalAccesses())
+	}
+}
+
+func TestFragmentTextureBilinear(t *testing.T) {
+	c := NewCounters()
+	c.FragmentTexture(true, texture.AddrCost{Adds: 2, Shifts: 1})
+	if c.Bilinear != 1 {
+		t.Error("bilinear counter wrong")
+	}
+	if c.TotalAccesses() != 4 {
+		t.Errorf("TotalAccesses = %d, want 4", c.TotalAccesses())
+	}
+	adds, _, _, _ := c.Total(PhaseTexelAddr)
+	if adds != 4*3 {
+		t.Errorf("addressing adds = %d, want 12", adds)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	c := NewCounters()
+	c.TriangleSetup()
+	c.FragmentShade()
+	c.FragmentTexture(false, texture.AddrCost{Adds: 2, Shifts: 1})
+	var sb strings.Builder
+	if err := c.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Per Triangle Setup", "Trilinear Interpolation", "triangles=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseLOD.String() != "Level-of-detail, d" {
+		t.Errorf("got %q", PhaseLOD.String())
+	}
+	if !strings.Contains(Phase(99).String(), "99") {
+		t.Error("unknown phase string")
+	}
+}

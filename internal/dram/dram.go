@@ -1,0 +1,172 @@
+// Package dram models the DRAM texture memory behind the cache: a
+// synchronous DRAM with open-row (page-mode) banks, row activate /
+// column access / precharge timing, and burst transfers over a fixed-
+// width bus. It substantiates two claims of Section 3.2: that "block
+// transfers of cache lines ... make it possible to get the most
+// bandwidth out of the memory" because long bursts amortize setup
+// costs, and that present-day DRAMs are "optimized for long burst
+// transfers".
+//
+// The model replays the cache's line-fill stream: each fill opens (or
+// reuses) the addressed row in its bank, then bursts the line across
+// the bus. Consecutive fills from the same row hit the open page and
+// skip the activate/precharge penalty — exactly why blocked texture
+// layouts, whose misses walk memory densely, also behave better at the
+// DRAM than layouts whose misses scatter.
+package dram
+
+import "fmt"
+
+// Timing describes the DRAM part and bus. The default models a late-90s
+// 100 MHz SDRAM with a 64-bit bus: 800 MB/s raw, pages of 2 KB, and
+// 3-3-3 activate/CAS/precharge timing.
+type Timing struct {
+	// ClockHz is the memory bus clock.
+	ClockHz float64
+	// BusBytes is the data bus width in bytes per cycle.
+	BusBytes int
+	// RowBytes is the DRAM page (open row) size in bytes.
+	RowBytes int
+	// Banks is the number of independent banks.
+	Banks int
+	// TRCD is the activate-to-column delay in cycles.
+	TRCD int
+	// TCAS is the column access latency in cycles.
+	TCAS int
+	// TRP is the precharge time in cycles, paid when closing a row.
+	TRP int
+}
+
+// Default returns the reference SDRAM described above.
+func Default() Timing {
+	return Timing{
+		ClockHz:  100e6,
+		BusBytes: 8,
+		RowBytes: 2 << 10,
+		Banks:    4,
+		TRCD:     3,
+		TCAS:     3,
+		TRP:      3,
+	}
+}
+
+// Validate reports whether the timing is usable.
+func (t Timing) Validate() error {
+	if t.ClockHz <= 0 || t.BusBytes <= 0 || t.RowBytes <= 0 || t.Banks <= 0 {
+		return fmt.Errorf("dram: non-positive timing parameter: %+v", t)
+	}
+	if t.TRCD < 0 || t.TCAS < 0 || t.TRP < 0 {
+		return fmt.Errorf("dram: negative latency: %+v", t)
+	}
+	return nil
+}
+
+// transferCycles is the burst time for lineBytes on the bus.
+func (t Timing) transferCycles(lineBytes int) int {
+	return (lineBytes + t.BusBytes - 1) / t.BusBytes
+}
+
+// FillCycles returns the cycles one line fill takes: a page hit pays
+// only CAS plus the burst; a page miss adds precharge and activate.
+func (t Timing) FillCycles(lineBytes int, pageHit bool) int {
+	c := t.TCAS + t.transferCycles(lineBytes)
+	if !pageHit {
+		c += t.TRP + t.TRCD
+	}
+	return c
+}
+
+// Stats accumulates the fill-stream measurements.
+type Stats struct {
+	Fills      uint64
+	PageHits   uint64
+	Cycles     uint64
+	BytesMoved uint64
+	BusyCycles uint64 // cycles the data bus actually carried data
+}
+
+// PageHitRate returns the fraction of fills that hit an open row.
+func (s Stats) PageHitRate() float64 {
+	if s.Fills == 0 {
+		return 0
+	}
+	return float64(s.PageHits) / float64(s.Fills)
+}
+
+// BusUtilization returns data-carrying cycles over total cycles — the
+// fraction of the raw bandwidth the fill stream extracts.
+func (s Stats) BusUtilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.Cycles)
+}
+
+// AvgFillCycles returns the mean fill latency.
+func (s Stats) AvgFillCycles() float64 {
+	if s.Fills == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Fills)
+}
+
+// Sim replays line fills against per-bank open-row state.
+type Sim struct {
+	timing    Timing
+	lineBytes int
+	openRow   []int64 // per bank; -1 = closed
+	stats     Stats
+}
+
+// NewSim returns a simulator for the given part and cache line size.
+func NewSim(t Timing, lineBytes int) (*Sim, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if lineBytes <= 0 {
+		return nil, fmt.Errorf("dram: line size %d", lineBytes)
+	}
+	s := &Sim{timing: t, lineBytes: lineBytes, openRow: make([]int64, t.Banks)}
+	for i := range s.openRow {
+		s.openRow[i] = -1
+	}
+	return s, nil
+}
+
+// Fill services one cache line fill at the given byte address and
+// returns whether it hit an open page.
+func (s *Sim) Fill(byteAddr uint64) bool {
+	rowID := int64(byteAddr / uint64(s.timing.RowBytes))
+	bank := int(rowID % int64(s.timing.Banks))
+	row := rowID / int64(s.timing.Banks)
+
+	hit := s.openRow[bank] == row
+	s.openRow[bank] = row
+
+	s.stats.Fills++
+	if hit {
+		s.stats.PageHits++
+	}
+	s.stats.Cycles += uint64(s.timing.FillCycles(s.lineBytes, hit))
+	s.stats.BusyCycles += uint64(s.timing.transferCycles(s.lineBytes))
+	s.stats.BytesMoved += uint64(s.lineBytes)
+	return hit
+}
+
+// Stats returns the accumulated measurements.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// EffectiveBandwidth returns the bytes per second the fill stream
+// achieved, versus Raw bandwidth of the bus.
+func (s *Sim) EffectiveBandwidth() float64 {
+	if s.stats.Cycles == 0 {
+		return 0
+	}
+	secs := float64(s.stats.Cycles) / s.timing.ClockHz
+	return float64(s.stats.BytesMoved) / secs
+}
+
+// RawBandwidth returns the bus's peak bytes per second.
+func (s *Sim) RawBandwidth() float64 {
+	return s.timing.ClockHz * float64(s.timing.BusBytes)
+}

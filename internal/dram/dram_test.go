@@ -1,0 +1,145 @@
+package dram
+
+import "testing"
+
+func TestTimingValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default timing invalid: %v", err)
+	}
+	bad := Default()
+	bad.Banks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero banks accepted")
+	}
+	neg := Default()
+	neg.TRP = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestFillCycles(t *testing.T) {
+	tm := Default() // 8B bus, 3-3-3
+	// 64B line: 8 transfer cycles. Page hit: 3 + 8 = 11. Miss: +3+3 = 17.
+	if got := tm.FillCycles(64, true); got != 11 {
+		t.Errorf("page-hit fill = %d, want 11", got)
+	}
+	if got := tm.FillCycles(64, false); got != 17 {
+		t.Errorf("page-miss fill = %d, want 17", got)
+	}
+	// Longer bursts amortize setup: utilization of a 256B miss fill is
+	// 32/(3+3+3+32) = 78%, versus 32B at 4/(13) = 31%.
+	long := float64(tm.transferCycles(256)) / float64(tm.FillCycles(256, false))
+	short := float64(tm.transferCycles(32)) / float64(tm.FillCycles(32, false))
+	if long <= short {
+		t.Errorf("long bursts should utilize better: %v vs %v", long, short)
+	}
+}
+
+func TestNewSimRejectsBadInput(t *testing.T) {
+	if _, err := NewSim(Default(), 0); err == nil {
+		t.Error("zero line accepted")
+	}
+	bad := Default()
+	bad.BusBytes = 0
+	if _, err := NewSim(bad, 64); err == nil {
+		t.Error("invalid timing accepted")
+	}
+}
+
+func TestPageHitTracking(t *testing.T) {
+	s, err := NewSim(Default(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same row (bank 0, row 0): first access misses the closed page,
+	// the rest hit.
+	if s.Fill(0) {
+		t.Error("first fill should miss the page")
+	}
+	if !s.Fill(64) || !s.Fill(128) {
+		t.Error("same-row fills should hit the open page")
+	}
+	// Row 4 maps to bank 0 again (4 banks): conflicts with row 0.
+	rowBytes := uint64(Default().RowBytes)
+	if s.Fill(4 * rowBytes) {
+		t.Error("bank-conflicting row should miss")
+	}
+	if s.Fill(0) {
+		t.Error("original row was closed by the conflict")
+	}
+	// Row 1 is in bank 1: independent of bank 0's state.
+	if s.Fill(rowBytes) {
+		t.Error("fresh bank should start closed")
+	}
+	if !s.Fill(rowBytes + 64) {
+		t.Error("open row in bank 1 should hit")
+	}
+	st := s.Stats()
+	if st.Fills != 7 || st.PageHits != 3 {
+		t.Errorf("stats = %+v, want 7 fills 3 hits", st)
+	}
+}
+
+func TestBusUtilizationImprovesWithLineSize(t *testing.T) {
+	// A dense sequential fill stream: bigger lines -> fewer setups per
+	// byte -> higher utilization (the Section 3.2 claim).
+	util := func(lineBytes int) float64 {
+		s, err := NewSim(Default(), lineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := uint64(0); a < 1<<20; a += uint64(lineBytes) {
+			s.Fill(a)
+		}
+		return s.Stats().BusUtilization()
+	}
+	u32, u128 := util(32), util(128)
+	if u128 <= u32 {
+		t.Errorf("128B lines should utilize the bus better: %v vs %v", u128, u32)
+	}
+	if u32 <= 0 || u128 > 1 {
+		t.Errorf("utilization out of range: %v, %v", u32, u128)
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	s, err := NewSim(Default(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EffectiveBandwidth() != 0 {
+		t.Error("empty sim should report zero bandwidth")
+	}
+	for a := uint64(0); a < 1<<18; a += 128 {
+		s.Fill(a)
+	}
+	eff, raw := s.EffectiveBandwidth(), s.RawBandwidth()
+	if raw != 800e6 {
+		t.Errorf("raw bandwidth = %v, want 800e6", raw)
+	}
+	if eff <= 0 || eff >= raw {
+		t.Errorf("effective bandwidth %v out of (0, raw)", eff)
+	}
+	// Sequential 128B fills on a 2KB page: 16 fills per page, 15 hits.
+	if hr := s.Stats().PageHitRate(); hr < 0.9 {
+		t.Errorf("sequential page hit rate = %v, want ~15/16", hr)
+	}
+	if got := s.Stats().AvgFillCycles(); got <= 0 {
+		t.Errorf("avg fill cycles = %v", got)
+	}
+}
+
+func TestRandomStreamPageHitRateLow(t *testing.T) {
+	s, _ := NewSim(Default(), 128)
+	// Strided fills that jump a page every time.
+	stride := uint64(Default().RowBytes)*uint64(Default().Banks) + uint64(Default().RowBytes)
+	a := uint64(0)
+	for i := 0; i < 10000; i++ {
+		s.Fill(a)
+		a += stride
+	}
+	if hr := s.Stats().PageHitRate(); hr > 0.01 {
+		t.Errorf("page-jumping stream hit rate = %v, want ~0", hr)
+	}
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"texcache/internal/cost"
+	"texcache/internal/scenes"
+	"texcache/internal/stats"
+	"texcache/internal/texture"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table4.1",
+		Title: "Texture mapping benchmark characteristics",
+		Run:   runTable41,
+	})
+	register(Experiment{
+		ID:    "table2.1",
+		Title: "Computational costs of the fragment generator phases",
+		Run:   runTable21,
+	})
+	register(Experiment{
+		ID:    "locality",
+		Title: "Accesses per texel and texture repetition (Section 3.1.2)",
+		Run:   runLocality,
+	})
+	register(Experiment{
+		ID:    "runlength",
+		Title: "Average texture runlengths (Section 5.2.3)",
+		Run:   runRunlength,
+	})
+}
+
+// characterize renders one scene with the locality collector attached.
+func characterize(cfg Config, name string) (*scenes.Scene, *stats.Locality, *cost.Counters, *frameInfo, error) {
+	s, err := buildScene(cfg, name)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	loc := stats.NewLocality()
+	counters := cost.NewCounters()
+	r, err := s.Render(scenes.RenderOptions{
+		Layout:    texture.LayoutSpec{Kind: texture.NonBlockedKind},
+		Traversal: s.DefaultTraversal(),
+		OnAccess:  loc.Record,
+		Counters:  counters,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	fi := &frameInfo{
+		Triangles:    r.Stats.TrianglesIn,
+		TexturedTris: r.Stats.TexturedTris,
+		Fragments:    r.Stats.FragmentsTextured,
+		AvgArea:      safeDiv(r.Stats.TriangleAreaSum, float64(r.Stats.TexturedTris)),
+		AvgW:         safeDiv(r.Stats.TriangleWidthSum, float64(r.Stats.TexturedTris)),
+		AvgH:         safeDiv(r.Stats.TriangleHeightSum, float64(r.Stats.TexturedTris)),
+	}
+	return s, loc, counters, fi, nil
+}
+
+type frameInfo struct {
+	Triangles    int
+	TexturedTris int
+	Fragments    uint64
+	AvgArea      float64
+	AvgW, AvgH   float64
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func runTable41(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %-11s %6s %8s %6s %6s %5s %9s %9s %6s %9s\n",
+		"Scene", "Resolution", "Tris", "AvgArea", "AvgW", "AvgH",
+		"Texs", "Store(MB)", "Used(MB)", "Used%", "PixTex(M)")
+	for _, name := range cfg.sceneList(scenes.Names()...) {
+		s, loc, _, fi, err := characterize(cfg, name)
+		if err != nil {
+			return err
+		}
+		storage := float64(s.TextureStorageBytes()) / (1 << 20)
+		used := float64(loc.TextureUsedBytes()) / (1 << 20)
+		fmt.Fprintf(w, "%-8s %4dx%-6d %6d %8.0f %6.0f %6.0f %5d %9.1f %9.2f %5.0f%% %9.2f\n",
+			s.Name, s.Width, s.Height, fi.Triangles, fi.AvgArea, fi.AvgW, fi.AvgH,
+			len(s.Mips), storage, used, 100*used/storage,
+			float64(fi.Fragments)/1e6)
+	}
+	return nil
+}
+
+func runTable21(cfg Config, w io.Writer) error {
+	for _, name := range cfg.sceneList("goblet") {
+		_, _, counters, _, err := characterize(cfg, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "--- %s: per-frame operation totals (Table 2.1 unit costs) ---\n", name)
+		if err := counters.WriteTable(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runLocality(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %11s %12s\n",
+		"Scene", "lower/texel", "upper/texel", "bili/texel", "repetition", "uniqueTexels")
+	for _, name := range cfg.sceneList(scenes.Names()...) {
+		_, loc, _, _, err := characterize(cfg, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8s %12.1f %12.1f %12.1f %11.2f %12d\n", name,
+			loc.AccessesPerTexel(texture.AccessTrilinearLower),
+			loc.AccessesPerTexel(texture.AccessTrilinearUpper),
+			loc.AccessesPerTexel(texture.AccessBilinear),
+			loc.RepetitionFactor(),
+			loc.UniqueTexels())
+	}
+	fmt.Fprintln(w, "\npaper: lower=4, upper=14, bilinear=18 (avg across scenes);")
+	fmt.Fprintln(w, "repetition: town=2.9 guitar=1.7 goblet=1.1 flight=1.0")
+	return nil
+}
+
+func runRunlength(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %14s %8s\n", "Scene", "avg runlength", "runs")
+	for _, name := range cfg.sceneList("town", "guitar", "flight") {
+		_, loc, _, _, err := characterize(cfg, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8s %14.0f %8d\n", name, loc.AverageRunlength(), loc.Runs())
+	}
+	fmt.Fprintln(w, "\npaper: town=223629 guitar=553745 flight=562154 (multi-texture scenes)")
+	return nil
+}

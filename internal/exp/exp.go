@@ -1,0 +1,150 @@
+// Package exp is the experiment harness: one registered experiment per
+// table and figure of the paper's evaluation, each regenerating the
+// corresponding rows or curve series from a fresh simulation of the four
+// benchmark scenes. The cmd/texsim command and the repository's benchmark
+// suite are thin wrappers over this registry.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"texcache/internal/cache"
+	"texcache/internal/raster"
+	"texcache/internal/scenes"
+	"texcache/internal/texture"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale divides the screen and texture resolutions: 1 reproduces the
+	// paper's full-size benchmarks, larger powers of two run faster. The
+	// qualitative shapes (who wins, where curves knee) are stable in
+	// scale; absolute miss rates shift slightly.
+	Scale int
+	// Scenes restricts the benchmark set; empty means each experiment's
+	// own default (usually the scenes the paper shows).
+	Scenes []string
+}
+
+// DefaultConfig runs everything at half resolution, a good
+// fidelity/runtime tradeoff.
+func DefaultConfig() Config { return Config{Scale: 2} }
+
+func (c Config) scale() int {
+	if c.Scale < 1 {
+		return 1
+	}
+	return c.Scale
+}
+
+// sceneList returns the configured scene subset, defaulting to defs.
+func (c Config) sceneList(defs ...string) []string {
+	if len(c.Scenes) > 0 {
+		return c.Scenes
+	}
+	return defs
+}
+
+// Experiment reproduces one paper artifact.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig5.2" or "table7.1".
+	ID string
+	// Title describes the artifact as the paper captions it.
+	Title string
+	// Run executes the experiment, writing rows/series to w.
+	Run func(cfg Config, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at package init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the sorted registry keys.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// buildScene constructs a benchmark scene at the configured scale.
+func buildScene(cfg Config, name string) (*scenes.Scene, error) {
+	s := scenes.ByName(name, cfg.scale())
+	if s == nil {
+		return nil, fmt.Errorf("exp: unknown scene %q", name)
+	}
+	return s, nil
+}
+
+// traceScene renders one frame and returns the texel address trace.
+func traceScene(cfg Config, name string, layout texture.LayoutSpec, trav raster.Traversal) (*cache.Trace, error) {
+	s, err := buildScene(cfg, name)
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := s.Trace(layout, trav)
+	return tr, err
+}
+
+// curveSizes are the cache sizes (bytes) of the miss-rate-versus-size
+// figures, a log-scale sweep as in the paper's plots.
+func curveSizes() []int {
+	var out []int
+	for s := 1 << 10; s <= 256<<10; s <<= 1 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// printCurveHeader writes the size-axis header row.
+func printCurveHeader(w io.Writer, label string) {
+	fmt.Fprintf(w, "%-28s", label)
+	for _, s := range curveSizes() {
+		fmt.Fprintf(w, "%9s", cache.FormatSize(s))
+	}
+	fmt.Fprintln(w)
+}
+
+// printCurve writes one miss-rate series as percentages.
+func printCurve(w io.Writer, label string, rates []float64) {
+	fmt.Fprintf(w, "%-28s", label)
+	for _, r := range rates {
+		fmt.Fprintf(w, "%8.2f%%", 100*r)
+	}
+	fmt.Fprintln(w)
+}
+
+// blocked8 is the 8x8-texel blocked layout used with 128-byte lines
+// throughout Sections 5.3.3-6.
+func blocked8() texture.LayoutSpec {
+	return texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8}
+}
+
+// lineForBlock returns the line size matching a square block in bytes.
+func lineForBlock(blockW int) int { return blockW * blockW * texture.TexelBytes }

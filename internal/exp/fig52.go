@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"texcache/internal/cache"
+	"texcache/internal/raster"
+	"texcache/internal/scenes"
+	"texcache/internal/texture"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig5.2",
+		Title: "Miss rate vs cache size, base nonblocked representation, " +
+			"fully associative, 32B lines, horizontal and vertical rasterization",
+		Run: runFig52,
+	})
+}
+
+// runFig52 reproduces Figure 5.2: working-set curves for the base
+// representation under both rasterization directions. The paper's
+// headline observations: first-level working sets of 4-16KB, cold miss
+// floors of 0.55-2.8%, and the Town scene's working set doubling under
+// vertical rasterization because its upright textures are then traversed
+// against the row-major storage order.
+func runFig52(cfg Config, w io.Writer) error {
+	layout := texture.LayoutSpec{Kind: texture.NonBlockedKind}
+	for _, dir := range []raster.Order{raster.RowMajor, raster.ColumnMajor} {
+		fmt.Fprintf(w, "--- (%s rasterization) ---\n", dir)
+		printCurveHeader(w, "scene")
+		for _, name := range cfg.sceneList(scenes.Names()...) {
+			tr, err := traceScene(cfg, name, layout, raster.Traversal{Order: dir})
+			if err != nil {
+				return err
+			}
+			sd := cache.NewStackDist(32)
+			tr.Replay(sd)
+			printCurve(w, name, sd.Curve(curveSizes()))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper (horizontal): working sets flight=4KB town=8KB guitar=16KB goblet=16KB;")
+	fmt.Fprintln(w, "cold miss floors: town=0.55% guitar=0.87% goblet=1.5% flight=2.8%;")
+	fmt.Fprintln(w, "vertical: town's small-cache miss rates rise sharply (working set 8KB->16KB)")
+	return nil
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"texcache/internal/banks"
+	"texcache/internal/cache"
+	"texcache/internal/texture"
+)
+
+func init() {
+	register(Experiment{
+		ID: "williams",
+		Title: "Caching pathologies of the Williams component-separated " +
+			"representation (Section 5.1)",
+		Run: runWilliams,
+	})
+}
+
+// newBankAnalyzer adapts banks.Analyzer so table71.go does not import the
+// package directly at its call sites.
+type bankAnalyzer struct{ a *banks.Analyzer }
+
+func newBankAnalyzer() *bankAnalyzer { return &bankAnalyzer{a: banks.New()} }
+
+func (b *bankAnalyzer) Record(e texture.AccessEvent) { b.a.Record(e) }
+func (b *bankAnalyzer) CyclesPerQuadMorton() float64 { return b.a.CyclesPerQuad(banks.Morton) }
+func (b *bankAnalyzer) CyclesPerQuadLinear() float64 { return b.a.CyclesPerQuad(banks.Linear) }
+func (b *bankAnalyzer) Speedup() float64             { return b.a.Speedup() }
+
+// runWilliams compares the Williams representation against the base
+// nonblocked representation: the component planes separated by powers of
+// two bytes triple the access count and collide in low-associativity
+// caches, which is why Section 5.1 rejects it as the baseline.
+func runWilliams(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %-12s %10s %12s %12s %12s\n",
+		"scene", "layout", "accesses", "DM miss%", "2-way miss%", "FA miss%")
+	for _, name := range cfg.sceneList("goblet", "guitar") {
+		s, err := buildScene(cfg, name)
+		if err != nil {
+			return err
+		}
+		for _, spec := range []texture.LayoutSpec{
+			{Kind: texture.NonBlockedKind},
+			{Kind: texture.WilliamsKind},
+		} {
+			tr, _, err := s.Trace(spec, s.DefaultTraversal())
+			if err != nil {
+				return err
+			}
+			row := make([]float64, 0, 3)
+			for _, ways := range []int{1, 2, 0} {
+				c := cache.New(cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: ways})
+				tr.Replay(c.Sink())
+				row = append(row, c.Stats().MissRate())
+			}
+			fmt.Fprintf(w, "%-8s %-12s %10d %11.2f%% %11.2f%% %11.2f%%\n",
+				name, spec.Kind, tr.Len(), 100*row[0], 100*row[1], 100*row[2])
+		}
+	}
+	fmt.Fprintln(w, "\npaper: the Williams layout needs three accesses per texel and its")
+	fmt.Fprintln(w, "power-of-two component strides conflict in the cache")
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package fb provides the framebuffer and depth buffer the pipeline
+// renders into, with PNG export for visual verification of the synthetic
+// scenes ("the images allow us to verify that the interpretation of the
+// trace is accurate", Section 4.1).
+package fb
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// Framebuffer is a W x H RGBA color buffer with a float32 depth buffer.
+type Framebuffer struct {
+	W, H  int
+	Color []color.NRGBA
+	Depth []float32
+}
+
+// New returns a cleared framebuffer: black color, maximum depth.
+func New(w, h int) *Framebuffer {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("fb: invalid dimensions %dx%d", w, h))
+	}
+	f := &Framebuffer{
+		W:     w,
+		H:     h,
+		Color: make([]color.NRGBA, w*h),
+		Depth: make([]float32, w*h),
+	}
+	f.Clear()
+	return f
+}
+
+// Clear resets the color buffer to opaque black and the depth buffer to
+// the far plane.
+func (f *Framebuffer) Clear() {
+	for i := range f.Color {
+		f.Color[i] = color.NRGBA{A: 255}
+		f.Depth[i] = math.MaxFloat32
+	}
+}
+
+// DepthTest performs the z-buffer test for (x, y) at depth z and commits z
+// on success, returning whether the fragment passed. Out-of-bounds
+// coordinates fail.
+func (f *Framebuffer) DepthTest(x, y int, z float64) bool {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H {
+		return false
+	}
+	i := y*f.W + x
+	if float32(z) >= f.Depth[i] {
+		return false
+	}
+	f.Depth[i] = float32(z)
+	return true
+}
+
+// SetPixel writes an RGB color in [0,1] to (x, y). Out-of-bounds writes
+// are ignored.
+func (f *Framebuffer) SetPixel(x, y int, r, g, b float64) {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H {
+		return
+	}
+	f.Color[y*f.W+x] = color.NRGBA{
+		R: clamp8(r),
+		G: clamp8(g),
+		B: clamp8(b),
+		A: 255,
+	}
+}
+
+// At returns the stored color at (x, y).
+func (f *Framebuffer) At(x, y int) color.NRGBA { return f.Color[y*f.W+x] }
+
+func clamp8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(v*255 + 0.5)
+}
+
+// Image returns the color buffer as an image.Image sharing no storage.
+func (f *Framebuffer) Image() image.Image {
+	img := image.NewNRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			img.SetNRGBA(x, y, f.Color[y*f.W+x])
+		}
+	}
+	return img
+}
+
+// WritePNG encodes the color buffer as PNG.
+func (f *Framebuffer) WritePNG(w io.Writer) error {
+	if err := png.Encode(w, f.Image()); err != nil {
+		return fmt.Errorf("fb: encoding PNG: %w", err)
+	}
+	return nil
+}
+
+// CoveredPixels counts pixels whose depth was written at least once —
+// i.e. covered by some fragment.
+func (f *Framebuffer) CoveredPixels() int {
+	n := 0
+	for _, d := range f.Depth {
+		if d != math.MaxFloat32 {
+			n++
+		}
+	}
+	return n
+}

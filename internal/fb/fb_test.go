@@ -1,0 +1,95 @@
+package fb
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestNewClears(t *testing.T) {
+	f := New(4, 3)
+	if f.CoveredPixels() != 0 {
+		t.Error("fresh framebuffer reports coverage")
+	}
+	c := f.At(2, 1)
+	if c.R != 0 || c.A != 255 {
+		t.Errorf("cleared color = %v", c)
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestDepthTest(t *testing.T) {
+	f := New(4, 4)
+	if !f.DepthTest(1, 1, 0.5) {
+		t.Error("first fragment should pass")
+	}
+	if f.DepthTest(1, 1, 0.7) {
+		t.Error("farther fragment should fail")
+	}
+	if !f.DepthTest(1, 1, 0.2) {
+		t.Error("nearer fragment should pass")
+	}
+	if f.DepthTest(1, 1, 0.2) {
+		t.Error("equal depth should fail (less-than test)")
+	}
+	if f.DepthTest(-1, 0, 0) || f.DepthTest(0, 4, 0) {
+		t.Error("out of bounds should fail")
+	}
+	if f.CoveredPixels() != 1 {
+		t.Errorf("covered = %d", f.CoveredPixels())
+	}
+}
+
+func TestSetPixelClamps(t *testing.T) {
+	f := New(2, 2)
+	f.SetPixel(0, 0, -1, 0.5, 2)
+	c := f.At(0, 0)
+	if c.R != 0 || c.B != 255 {
+		t.Errorf("clamping broken: %v", c)
+	}
+	if c.G < 127 || c.G > 128 {
+		t.Errorf("G = %d, want ~127", c.G)
+	}
+	f.SetPixel(5, 5, 1, 1, 1) // silently ignored
+}
+
+func TestClearResets(t *testing.T) {
+	f := New(2, 2)
+	f.DepthTest(0, 0, 0.1)
+	f.SetPixel(0, 0, 1, 0, 0)
+	f.Clear()
+	if f.CoveredPixels() != 0 {
+		t.Error("clear did not reset depth")
+	}
+	if f.At(0, 0).R != 0 {
+		t.Error("clear did not reset color")
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	f := New(8, 8)
+	f.SetPixel(3, 4, 1, 0, 0)
+	var buf bytes.Buffer
+	if err := f.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 8 || img.Bounds().Dy() != 8 {
+		t.Errorf("decoded bounds = %v", img.Bounds())
+	}
+	r, _, _, _ := img.At(3, 4).RGBA()
+	if r != 0xffff {
+		t.Errorf("red pixel round-tripped to %x", r)
+	}
+}

@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+
+	"texcache/internal/vecmath"
+)
+
+// Quad returns a single-quad mesh in the XY plane, centered at the origin,
+// spanning [-w/2, w/2] x [-h/2, h/2], facing +Z, with UVs covering [0,1].
+func Quad(w, h float64, texID int) *Mesh {
+	hw, hh := w/2, h/2
+	n := vecmath.Vec3{Z: 1}
+	white := vecmath.Vec3{X: 1, Y: 1, Z: 1}
+	v := func(x, y, u, vv float64) Vertex {
+		return Vertex{
+			Pos:    vecmath.Vec3{X: x, Y: y},
+			Normal: n,
+			UV:     vecmath.Vec2{X: u, Y: vv},
+			Color:  white,
+		}
+	}
+	m := &Mesh{}
+	m.AddQuad(v(-hw, -hh, 0, 1), v(hw, -hh, 1, 1), v(hw, hh, 1, 0), v(-hw, hh, 0, 0), texID)
+	return m
+}
+
+// Grid returns a (nx x ny)-cell tessellated rectangle in the XZ plane
+// spanning [0,w] x [0,d], with heights from the height function (y up).
+// UVs cover [0,1] across the whole grid. Used for the Flight terrain.
+func Grid(nx, ny int, w, d float64, height func(u, v float64) float64, texID int) *Mesh {
+	white := vecmath.Vec3{X: 1, Y: 1, Z: 1}
+	vert := func(i, j int) Vertex {
+		u := float64(i) / float64(nx)
+		v := float64(j) / float64(ny)
+		y := height(u, v)
+		// Normal from central differences of the height field.
+		const e = 1e-3
+		dydu := (height(u+e, v) - height(u-e, v)) / (2 * e * w)
+		dydv := (height(u, v+e) - height(u, v-e)) / (2 * e * d)
+		n := vecmath.Vec3{X: -dydu, Y: 1, Z: -dydv}.Normalize()
+		return Vertex{
+			Pos:    vecmath.Vec3{X: u * w, Y: y, Z: v * d},
+			Normal: n,
+			UV:     vecmath.Vec2{X: u, Y: v},
+			Color:  white,
+		}
+	}
+	m := &Mesh{}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			a, b := vert(i, j), vert(i+1, j)
+			c, e := vert(i+1, j+1), vert(i, j+1)
+			m.AddQuad(a, b, c, e, texID)
+		}
+	}
+	return m
+}
+
+// Lathe returns a surface of revolution about the Y axis: profile gives
+// (radius, y) for parameter t in [0,1] from bottom to top, swept through
+// segs angular segments with rings vertical subdivisions. U wraps uRepeat
+// times around the circumference; V runs bottom to top. Used for the
+// Goblet scene's curved, small-triangle geometry.
+func Lathe(profile func(t float64) (r, y float64), rings, segs int, uRepeat float64, texID int) *Mesh {
+	white := vecmath.Vec3{X: 1, Y: 1, Z: 1}
+	vert := func(ring, seg int) Vertex {
+		t := float64(ring) / float64(rings)
+		r, y := profile(t)
+		ang := 2 * math.Pi * float64(seg) / float64(segs)
+		sin, cos := math.Sin(ang), math.Cos(ang)
+		// Approximate normal from the profile slope.
+		const e = 1e-3
+		r2, y2 := profile(math.Min(1, t+e))
+		dr, dy := r2-r, y2-y
+		// Tangent along profile is (dr, dy); outward normal is (dy, -dr)
+		// rotated around the axis.
+		nr, ny := dy, -dr
+		l := math.Hypot(nr, ny)
+		if l == 0 {
+			nr, ny = 1, 0
+			l = 1
+		}
+		n := vecmath.Vec3{X: cos * nr / l, Y: ny / l, Z: sin * nr / l}
+		return Vertex{
+			Pos:    vecmath.Vec3{X: r * cos, Y: y, Z: r * sin},
+			Normal: n,
+			UV:     vecmath.Vec2{X: uRepeat * float64(seg) / float64(segs), Y: 1 - t},
+			Color:  white,
+		}
+	}
+	m := &Mesh{}
+	for ring := 0; ring < rings; ring++ {
+		for seg := 0; seg < segs; seg++ {
+			a := vert(ring, seg)
+			b := vert(ring, seg+1)
+			c := vert(ring+1, seg+1)
+			d := vert(ring+1, seg)
+			m.AddQuad(a, b, c, d, texID)
+		}
+	}
+	return m
+}

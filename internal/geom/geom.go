@@ -1,0 +1,85 @@
+// Package geom defines the geometric primitives consumed by the graphics
+// pipeline — vertices, triangles and meshes — plus the procedural mesh
+// generators (grids, lathes, terrain) used to synthesize the benchmark
+// scenes.
+package geom
+
+import (
+	"texcache/internal/vecmath"
+)
+
+// Vertex is one triangle corner with the attributes the pipeline
+// interpolates: object-space position, unit normal for lighting,
+// normalized texture coordinates and a base color.
+type Vertex struct {
+	Pos    vecmath.Vec3
+	Normal vecmath.Vec3
+	UV     vecmath.Vec2
+	Color  vecmath.Vec3
+}
+
+// Triangle is the rendering primitive. TexID indexes the scene's texture
+// table; a negative TexID renders untextured.
+type Triangle struct {
+	V     [3]Vertex
+	TexID int
+}
+
+// Mesh is an ordered triangle list. Order matters: the paper's simulator
+// rasterizes triangles "in the same order that they are specified in the
+// input", and the texture runlength statistics depend on it.
+type Mesh struct {
+	Tris []Triangle
+}
+
+// Add appends a triangle built from three vertices and a texture ID.
+func (m *Mesh) Add(a, b, c Vertex, texID int) {
+	m.Tris = append(m.Tris, Triangle{V: [3]Vertex{a, b, c}, TexID: texID})
+}
+
+// AddQuad appends the two triangles of the quad (a, b, c, d), given in
+// fan order around the perimeter.
+func (m *Mesh) AddQuad(a, b, c, d Vertex, texID int) {
+	m.Add(a, b, c, texID)
+	m.Add(a, c, d, texID)
+}
+
+// Append concatenates other's triangles onto m, preserving order.
+func (m *Mesh) Append(other *Mesh) {
+	m.Tris = append(m.Tris, other.Tris...)
+}
+
+// Len returns the triangle count.
+func (m *Mesh) Len() int { return len(m.Tris) }
+
+// Transform applies the matrix to all vertex positions and its rotational
+// part to normals, returning a new mesh. The transform must be rigid or
+// uniformly scaling for normals to remain correct, which is all the scene
+// generators need.
+func (m *Mesh) Transform(mat vecmath.Mat4) *Mesh {
+	out := &Mesh{Tris: make([]Triangle, len(m.Tris))}
+	for i, tr := range m.Tris {
+		nt := tr
+		for j := range nt.V {
+			nt.V[j].Pos = mat.TransformPoint(tr.V[j].Pos)
+			nt.V[j].Normal = mat.TransformDir(tr.V[j].Normal).Normalize()
+		}
+		out.Tris[i] = nt
+	}
+	return out
+}
+
+// UVScale multiplies all texture coordinates, which controls texture
+// repetition across a surface (Section 3.1.2's repeated-texture
+// temporal locality).
+func (m *Mesh) UVScale(su, sv float64) *Mesh {
+	out := &Mesh{Tris: make([]Triangle, len(m.Tris))}
+	for i, tr := range m.Tris {
+		nt := tr
+		for j := range nt.V {
+			nt.V[j].UV = vecmath.Vec2{X: tr.V[j].UV.X * su, Y: tr.V[j].UV.Y * sv}
+		}
+		out.Tris[i] = nt
+	}
+	return out
+}

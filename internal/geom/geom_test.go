@@ -1,0 +1,151 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"texcache/internal/vecmath"
+)
+
+func TestMeshAddQuad(t *testing.T) {
+	m := Quad(2, 2, 7)
+	if m.Len() != 2 {
+		t.Fatalf("quad has %d triangles", m.Len())
+	}
+	for _, tr := range m.Tris {
+		if tr.TexID != 7 {
+			t.Errorf("TexID = %d", tr.TexID)
+		}
+	}
+}
+
+func TestQuadSpansAndUVs(t *testing.T) {
+	m := Quad(4, 2, 0)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minU, maxU := math.Inf(1), math.Inf(-1)
+	for _, tr := range m.Tris {
+		for _, v := range tr.V {
+			minX = math.Min(minX, v.Pos.X)
+			maxX = math.Max(maxX, v.Pos.X)
+			minU = math.Min(minU, v.UV.X)
+			maxU = math.Max(maxU, v.UV.X)
+			if v.Normal != (vecmath.Vec3{Z: 1}) {
+				t.Errorf("normal = %v", v.Normal)
+			}
+		}
+	}
+	if minX != -2 || maxX != 2 {
+		t.Errorf("x span [%v, %v]", minX, maxX)
+	}
+	if minU != 0 || maxU != 1 {
+		t.Errorf("u span [%v, %v]", minU, maxU)
+	}
+}
+
+func TestMeshAppendPreservesOrder(t *testing.T) {
+	a := Quad(1, 1, 0)
+	b := Quad(1, 1, 1)
+	m := &Mesh{}
+	m.Append(a)
+	m.Append(b)
+	if m.Len() != 4 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if m.Tris[0].TexID != 0 || m.Tris[3].TexID != 1 {
+		t.Error("append broke ordering")
+	}
+}
+
+func TestMeshTransform(t *testing.T) {
+	m := Quad(2, 2, 0).Transform(vecmath.Translate(vecmath.Vec3{X: 10}))
+	for _, tr := range m.Tris {
+		for _, v := range tr.V {
+			if v.Pos.X < 9 || v.Pos.X > 11 {
+				t.Errorf("translated x = %v", v.Pos.X)
+			}
+			// Normals unaffected by translation.
+			if math.Abs(v.Normal.Len()-1) > 1e-12 {
+				t.Errorf("normal not unit: %v", v.Normal)
+			}
+		}
+	}
+	// Rotation rotates normals.
+	r := Quad(2, 2, 0).Transform(vecmath.RotateY(math.Pi / 2))
+	n := r.Tris[0].V[0].Normal
+	if math.Abs(n.X-1) > 1e-9 {
+		t.Errorf("rotated normal = %v, want +X", n)
+	}
+}
+
+func TestMeshUVScale(t *testing.T) {
+	m := Quad(1, 1, 0).UVScale(4, 2)
+	maxU, maxV := 0.0, 0.0
+	for _, tr := range m.Tris {
+		for _, v := range tr.V {
+			maxU = math.Max(maxU, v.UV.X)
+			maxV = math.Max(maxV, v.UV.Y)
+		}
+	}
+	if maxU != 4 || maxV != 2 {
+		t.Errorf("uv scale -> (%v, %v)", maxU, maxV)
+	}
+}
+
+func TestGridTriangleCountAndHeights(t *testing.T) {
+	h := func(u, v float64) float64 { return 10 * u }
+	m := Grid(4, 3, 100, 50, h, 0)
+	if m.Len() != 4*3*2 {
+		t.Fatalf("grid has %d triangles, want 24", m.Len())
+	}
+	for _, tr := range m.Tris {
+		for _, v := range tr.V {
+			wantY := 10 * v.Pos.X / 100
+			if math.Abs(v.Pos.Y-wantY) > 1e-9 {
+				t.Errorf("height at x=%v is %v, want %v", v.Pos.X, v.Pos.Y, wantY)
+			}
+			if v.Pos.X < 0 || v.Pos.X > 100 || v.Pos.Z < 0 || v.Pos.Z > 50 {
+				t.Errorf("grid point out of bounds: %v", v.Pos)
+			}
+			if math.Abs(v.Normal.Len()-1) > 1e-9 {
+				t.Errorf("normal not unit: %v", v.Normal)
+			}
+		}
+	}
+}
+
+func TestLatheGeometry(t *testing.T) {
+	profile := func(tt float64) (float64, float64) { return 1, tt } // cylinder
+	m := Lathe(profile, 4, 8, 2, 3)
+	if m.Len() != 4*8*2 {
+		t.Fatalf("lathe has %d triangles", m.Len())
+	}
+	for _, tr := range m.Tris {
+		if tr.TexID != 3 {
+			t.Fatalf("TexID = %d", tr.TexID)
+		}
+		for _, v := range tr.V {
+			r := math.Hypot(v.Pos.X, v.Pos.Z)
+			if math.Abs(r-1) > 1e-9 {
+				t.Errorf("cylinder radius = %v", r)
+			}
+			if v.Pos.Y < 0 || v.Pos.Y > 1 {
+				t.Errorf("cylinder y = %v", v.Pos.Y)
+			}
+			// Cylinder normals point outward radially.
+			dot := v.Normal.Dot(vecmath.Vec3{X: v.Pos.X, Z: v.Pos.Z})
+			if dot < 0.9 {
+				t.Errorf("normal %v not radial at %v", v.Normal, v.Pos)
+			}
+		}
+	}
+	// U repeats uRepeat times.
+	maxU := 0.0
+	for _, tr := range m.Tris {
+		for _, v := range tr.V {
+			maxU = math.Max(maxU, v.UV.X)
+		}
+	}
+	if maxU != 2 {
+		t.Errorf("max u = %v, want 2", maxU)
+	}
+}

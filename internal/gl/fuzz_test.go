@@ -1,0 +1,28 @@
+package gl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"texcache/internal/pipeline"
+	"texcache/internal/vecmath"
+)
+
+// FuzzReplay hardens the command-trace parser: arbitrary text must
+// either replay cleanly or produce an error, never panic, and never draw
+// through a broken state machine.
+func FuzzReplay(f *testing.F) {
+	f.Add("bind 0\nbegin\ntexcoord 0 0\nvertex 0 0 0\ntexcoord 1 0\nvertex 1 0 0\ntexcoord 0 1\nvertex 0 1 0\nend\n")
+	f.Add("# comment\n\nbegin\nend\n")
+	f.Add("vertex 1")
+	f.Add("begin\nbegin")
+	f.Add(strings.Repeat("color 1 1 1\n", 100))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		r := pipeline.NewRenderer(8, 8)
+		cam := pipeline.LookAtCamera(vecmath.Vec3{Z: 2}, vecmath.Vec3{}, vecmath.Vec3{Y: 1},
+			math.Pi/2, 1, 0.1, 10)
+		_ = Replay(strings.NewReader(src), NewContext(r, cam))
+	})
+}

@@ -1,0 +1,337 @@
+// Package gl provides a minimal immediate-mode command interface in the
+// style of the 1990s GL APIs, together with a textual command-trace
+// format. It reproduces the paper's second methodology component
+// (Section 4.1): "a capability to trace the GL calls that are made by a
+// graphics application ... the trace is then fed to our software
+// implementation of the graphics pipeline which executes equivalent
+// procedures".
+//
+// An application issues BindTexture / Begin / Color / Normal / TexCoord /
+// Vertex / End calls against any API implementation: Context executes
+// them on the software pipeline, Recorder serializes them as a line-based
+// trace, and Replay drives an API from such a trace. Tee fans calls out,
+// so a run can render and record simultaneously — exactly the gldebug
+// arrangement.
+package gl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"texcache/internal/geom"
+	"texcache/internal/pipeline"
+	"texcache/internal/vecmath"
+)
+
+// API is the immediate-mode command set. Implementations must tolerate
+// calls in any order; semantic errors surface via Err.
+type API interface {
+	// BindTexture selects the texture for subsequent triangles; negative
+	// disables texturing.
+	BindTexture(id int)
+	// Begin starts a triangle list.
+	Begin()
+	// Color latches the current vertex color.
+	Color(r, g, b float64)
+	// Normal latches the current vertex normal.
+	Normal(x, y, z float64)
+	// TexCoord latches the current texture coordinates.
+	TexCoord(u, v float64)
+	// Vertex emits a vertex with the latched attributes; every third
+	// vertex completes a triangle.
+	Vertex(x, y, z float64)
+	// End closes the triangle list.
+	End()
+	// Err returns the first semantic error, or nil.
+	Err() error
+}
+
+// Context executes the command set on a renderer, drawing each completed
+// triangle immediately in issue order (the paper's simulator renders
+// triangles "in the same order that they are specified").
+type Context struct {
+	r     *pipeline.Renderer
+	cam   pipeline.Camera
+	model vecmath.Mat4
+
+	cur     geom.Vertex
+	tri     [3]geom.Vertex
+	n       int
+	texID   int
+	inBegin bool
+	err     error
+}
+
+// NewContext returns a context drawing into r with the given camera.
+func NewContext(r *pipeline.Renderer, cam pipeline.Camera) *Context {
+	c := &Context{r: r, cam: cam, model: vecmath.Identity(), texID: -1}
+	c.cur.Color = vecmath.Vec3{X: 1, Y: 1, Z: 1}
+	c.cur.Normal = vecmath.Vec3{Z: 1}
+	return c
+}
+
+func (c *Context) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("gl: "+format, args...)
+	}
+}
+
+// BindTexture implements API.
+func (c *Context) BindTexture(id int) {
+	if c.inBegin {
+		c.fail("BindTexture inside Begin/End")
+		return
+	}
+	c.texID = id
+}
+
+// Begin implements API.
+func (c *Context) Begin() {
+	if c.inBegin {
+		c.fail("nested Begin")
+		return
+	}
+	c.inBegin = true
+	c.n = 0
+}
+
+// Color implements API.
+func (c *Context) Color(r, g, b float64) { c.cur.Color = vecmath.Vec3{X: r, Y: g, Z: b} }
+
+// Normal implements API.
+func (c *Context) Normal(x, y, z float64) { c.cur.Normal = vecmath.Vec3{X: x, Y: y, Z: z} }
+
+// TexCoord implements API.
+func (c *Context) TexCoord(u, v float64) { c.cur.UV = vecmath.Vec2{X: u, Y: v} }
+
+// Vertex implements API.
+func (c *Context) Vertex(x, y, z float64) {
+	if !c.inBegin {
+		c.fail("Vertex outside Begin/End")
+		return
+	}
+	c.cur.Pos = vecmath.Vec3{X: x, Y: y, Z: z}
+	c.tri[c.n] = c.cur
+	c.n++
+	if c.n == 3 {
+		c.n = 0
+		m := geom.Mesh{Tris: []geom.Triangle{{V: c.tri, TexID: c.texID}}}
+		c.r.DrawMesh(&m, c.model, c.cam)
+	}
+}
+
+// End implements API.
+func (c *Context) End() {
+	if !c.inBegin {
+		c.fail("End without Begin")
+		return
+	}
+	if c.n != 0 {
+		c.fail("End with %d dangling vertices", c.n)
+	}
+	c.inBegin = false
+}
+
+// Err implements API.
+func (c *Context) Err() error { return c.err }
+
+// Recorder serializes API calls as a line-based text trace.
+type Recorder struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewRecorder returns a recorder writing to w; call Flush when done.
+func NewRecorder(w io.Writer) *Recorder { return &Recorder{w: bufio.NewWriter(w)} }
+
+func (r *Recorder) emit(format string, args ...any) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = fmt.Fprintf(r.w, format+"\n", args...)
+}
+
+// BindTexture implements API.
+func (r *Recorder) BindTexture(id int) { r.emit("bind %d", id) }
+
+// Begin implements API.
+func (r *Recorder) Begin() { r.emit("begin") }
+
+// Color implements API.
+func (r *Recorder) Color(cr, cg, cb float64) { r.emit("color %g %g %g", cr, cg, cb) }
+
+// Normal implements API.
+func (r *Recorder) Normal(x, y, z float64) { r.emit("normal %g %g %g", x, y, z) }
+
+// TexCoord implements API.
+func (r *Recorder) TexCoord(u, v float64) { r.emit("texcoord %g %g", u, v) }
+
+// Vertex implements API.
+func (r *Recorder) Vertex(x, y, z float64) { r.emit("vertex %g %g %g", x, y, z) }
+
+// End implements API.
+func (r *Recorder) End() { r.emit("end") }
+
+// Err implements API.
+func (r *Recorder) Err() error { return r.err }
+
+// Flush writes any buffered trace output.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// tee fans every call out to multiple APIs.
+type tee struct{ apis []API }
+
+// Tee returns an API forwarding to all of apis, the gldebug arrangement
+// of rendering while recording.
+func Tee(apis ...API) API { return &tee{apis: apis} }
+
+func (t *tee) BindTexture(id int) { t.each(func(a API) { a.BindTexture(id) }) }
+func (t *tee) Begin()             { t.each(func(a API) { a.Begin() }) }
+func (t *tee) Color(r, g, b float64) {
+	t.each(func(a API) { a.Color(r, g, b) })
+}
+func (t *tee) Normal(x, y, z float64) { t.each(func(a API) { a.Normal(x, y, z) }) }
+func (t *tee) TexCoord(u, v float64)  { t.each(func(a API) { a.TexCoord(u, v) }) }
+func (t *tee) Vertex(x, y, z float64) { t.each(func(a API) { a.Vertex(x, y, z) }) }
+func (t *tee) End()                   { t.each(func(a API) { a.End() }) }
+
+func (t *tee) each(f func(API)) {
+	for _, a := range t.apis {
+		f(a)
+	}
+}
+
+// Err returns the first error across the fan-out.
+func (t *tee) Err() error {
+	for _, a := range t.apis {
+		if err := a.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay parses a recorded trace and issues its calls against dst,
+// stopping at the first malformed line or API error.
+func Replay(src io.Reader, dst API) error {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if err := replayLine(fields, dst); err != nil {
+			return fmt.Errorf("gl: line %d: %w", lineNo, err)
+		}
+		if err := dst.Err(); err != nil {
+			return fmt.Errorf("gl: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("gl: reading trace: %w", err)
+	}
+	return dst.Err()
+}
+
+func replayLine(fields []string, dst API) error {
+	argf := func(n int) ([]float64, error) {
+		if len(fields) != n+1 {
+			return nil, fmt.Errorf("%s: want %d args, got %d", fields[0], n, len(fields)-1)
+		}
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: arg %d: %v", fields[0], i+1, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch fields[0] {
+	case "bind":
+		a, err := argf(1)
+		if err != nil {
+			return err
+		}
+		dst.BindTexture(int(a[0]))
+	case "begin":
+		if len(fields) != 1 {
+			return fmt.Errorf("begin takes no args")
+		}
+		dst.Begin()
+	case "color":
+		a, err := argf(3)
+		if err != nil {
+			return err
+		}
+		dst.Color(a[0], a[1], a[2])
+	case "normal":
+		a, err := argf(3)
+		if err != nil {
+			return err
+		}
+		dst.Normal(a[0], a[1], a[2])
+	case "texcoord":
+		a, err := argf(2)
+		if err != nil {
+			return err
+		}
+		dst.TexCoord(a[0], a[1])
+	case "vertex":
+		a, err := argf(3)
+		if err != nil {
+			return err
+		}
+		dst.Vertex(a[0], a[1], a[2])
+	case "end":
+		if len(fields) != 1 {
+			return fmt.Errorf("end takes no args")
+		}
+		dst.End()
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+	return nil
+}
+
+// EmitMesh issues a mesh through the API as immediate-mode calls, the
+// bridge from retained scenes to the command stream.
+func EmitMesh(api API, m *geom.Mesh) {
+	lastTex := -1 << 30
+	inBegin := false
+	for _, tr := range m.Tris {
+		if tr.TexID != lastTex {
+			if inBegin {
+				api.End()
+				inBegin = false
+			}
+			api.BindTexture(tr.TexID)
+			lastTex = tr.TexID
+		}
+		if !inBegin {
+			api.Begin()
+			inBegin = true
+		}
+		for _, v := range tr.V {
+			api.Color(v.Color.X, v.Color.Y, v.Color.Z)
+			api.Normal(v.Normal.X, v.Normal.Y, v.Normal.Z)
+			api.TexCoord(v.UV.X, v.UV.Y)
+			api.Vertex(v.Pos.X, v.Pos.Y, v.Pos.Z)
+		}
+	}
+	if inBegin {
+		api.End()
+	}
+}

@@ -1,0 +1,219 @@
+package gl
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"texcache/internal/cache"
+	"texcache/internal/geom"
+	"texcache/internal/pipeline"
+	"texcache/internal/texture"
+	"texcache/internal/vecmath"
+)
+
+func testRenderer(t *testing.T) (*pipeline.Renderer, pipeline.Camera) {
+	t.Helper()
+	r := pipeline.NewRenderer(32, 32)
+	tex, err := texture.NewTexture(0, texture.Checker(16, 16, 4,
+		texture.Texel{R: 255, A: 255}, texture.Texel{B: 255, A: 255}),
+		texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 4}, texture.NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Textures = []*texture.Texture{tex}
+	cam := pipeline.LookAtCamera(vecmath.Vec3{Z: 2}, vecmath.Vec3{}, vecmath.Vec3{Y: 1},
+		math.Pi/2, 1, 0.1, 10)
+	return r, cam
+}
+
+// drawQuad issues a textured quad through the API.
+func drawQuad(api API) {
+	api.BindTexture(0)
+	api.Begin()
+	v := func(x, y, u, vv float64) {
+		api.TexCoord(u, vv)
+		api.Vertex(x, y, 0)
+	}
+	v(-1, -1, 0, 1)
+	v(1, -1, 1, 1)
+	v(1, 1, 1, 0)
+	v(-1, -1, 0, 1)
+	v(1, 1, 1, 0)
+	v(-1, 1, 0, 0)
+	api.End()
+}
+
+func TestContextDrawsTriangles(t *testing.T) {
+	r, cam := testRenderer(t)
+	ctx := NewContext(r, cam)
+	drawQuad(ctx)
+	if err := ctx.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.TrianglesIn != 2 {
+		t.Errorf("triangles = %d, want 2", r.Stats.TrianglesIn)
+	}
+	if r.Stats.FragmentsTextured == 0 {
+		t.Error("no textured fragments")
+	}
+}
+
+func TestContextErrors(t *testing.T) {
+	r, cam := testRenderer(t)
+	ctx := NewContext(r, cam)
+	ctx.Vertex(0, 0, 0) // outside Begin
+	if ctx.Err() == nil {
+		t.Error("Vertex outside Begin accepted")
+	}
+
+	ctx2 := NewContext(r, cam)
+	ctx2.Begin()
+	ctx2.Begin()
+	if ctx2.Err() == nil {
+		t.Error("nested Begin accepted")
+	}
+
+	ctx3 := NewContext(r, cam)
+	ctx3.End()
+	if ctx3.Err() == nil {
+		t.Error("End without Begin accepted")
+	}
+
+	ctx4 := NewContext(r, cam)
+	ctx4.Begin()
+	ctx4.Vertex(0, 0, 0)
+	ctx4.End()
+	if ctx4.Err() == nil {
+		t.Error("dangling vertices accepted")
+	}
+
+	ctx5 := NewContext(r, cam)
+	ctx5.Begin()
+	ctx5.BindTexture(1)
+	if ctx5.Err() == nil {
+		t.Error("BindTexture inside Begin accepted")
+	}
+}
+
+func TestRecordReplayMatchesDirect(t *testing.T) {
+	// Render directly and via record->replay; the texel traces must be
+	// identical (the paper's correctness check for trace interpretation).
+	direct, cam := testRenderer(t)
+	trDirect := cache.NewTrace(0)
+	direct.Sink = trDirect
+	drawQuad(NewContext(direct, cam))
+
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	drawQuad(rec)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, cam2 := testRenderer(t)
+	trReplay := cache.NewTrace(0)
+	replayed.Sink = trReplay
+	if err := Replay(&buf, NewContext(replayed, cam2)); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(trDirect.Addrs) == 0 || len(trDirect.Addrs) != len(trReplay.Addrs) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(trDirect.Addrs), len(trReplay.Addrs))
+	}
+	for i := range trDirect.Addrs {
+		if trDirect.Addrs[i] != trReplay.Addrs[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestTeeRendersAndRecords(t *testing.T) {
+	r, cam := testRenderer(t)
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	api := Tee(NewContext(r, cam), rec)
+	drawQuad(api)
+	if err := api.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.TrianglesIn != 2 {
+		t.Error("tee did not render")
+	}
+	if !strings.Contains(buf.String(), "begin") || !strings.Contains(buf.String(), "vertex") {
+		t.Error("tee did not record")
+	}
+}
+
+func TestReplayRejectsMalformed(t *testing.T) {
+	r, cam := testRenderer(t)
+	cases := []string{
+		"frobnicate 1 2 3",
+		"vertex 1 2",   // wrong arity
+		"vertex a b c", // bad float
+		"begin 7",      // begin takes no args
+		"end extra",    // end takes no args
+		"vertex 0 0 0", // semantic error: outside begin
+	}
+	for _, src := range cases {
+		if err := Replay(strings.NewReader(src), NewContext(r, cam)); err == nil {
+			t.Errorf("malformed trace %q accepted", src)
+		}
+	}
+}
+
+func TestReplaySkipsCommentsAndBlanks(t *testing.T) {
+	r, cam := testRenderer(t)
+	src := "# a comment\n\nbind 0\nbegin\nend\n"
+	if err := Replay(strings.NewReader(src), NewContext(r, cam)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitMeshRoundTrip(t *testing.T) {
+	// A mesh pushed through EmitMesh renders identically to DrawMesh.
+	mesh := geom.Quad(2, 2, 0)
+
+	direct, cam := testRenderer(t)
+	trDirect := cache.NewTrace(0)
+	direct.Sink = trDirect
+	direct.DrawMesh(mesh, vecmath.Identity(), cam)
+
+	viaGL, cam2 := testRenderer(t)
+	trGL := cache.NewTrace(0)
+	viaGL.Sink = trGL
+	ctx := NewContext(viaGL, cam2)
+	EmitMesh(ctx, mesh)
+	if err := ctx.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(trDirect.Addrs) == 0 || len(trDirect.Addrs) != len(trGL.Addrs) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(trDirect.Addrs), len(trGL.Addrs))
+	}
+	for i := range trDirect.Addrs {
+		if trDirect.Addrs[i] != trGL.Addrs[i] {
+			t.Fatalf("traces diverge at access %d", i)
+		}
+	}
+}
+
+func TestEmitMeshGroupsByTexture(t *testing.T) {
+	m := &geom.Mesh{}
+	m.Append(geom.Quad(1, 1, 0))
+	m.Append(geom.Quad(1, 1, 1))
+	m.Append(geom.Quad(1, 1, 1)) // same texture: no re-bind
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	EmitMesh(rec, m)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "bind "); got != 2 {
+		t.Errorf("%d binds, want 2:\n%s", got, buf.String())
+	}
+}

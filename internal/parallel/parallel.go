@@ -1,0 +1,161 @@
+// Package parallel studies the open question the paper's conclusion
+// poses: "how to balance the work among multiple fragment generators
+// without reducing the spatial locality in each reference stream."
+//
+// The model is the architecture Section 3 sketches — multiple fragment
+// generators sharing one DRAM texture memory, each with its own SRAM
+// cache, partitioned in image space. No cache coherence is needed since
+// texture data is read-only. The package compares the classic image-
+// space partitions: interleaved scanlines (perfect balance, poor
+// locality), contiguous strips (good locality, poor balance), and
+// interleaved screen tiles (the compromise that later GPUs adopted).
+package parallel
+
+import (
+	"fmt"
+
+	"texcache/internal/cache"
+	"texcache/internal/scenes"
+	"texcache/internal/texture"
+)
+
+// Partition selects the image-space work distribution.
+type Partition int
+
+const (
+	// ScanlineInterleave gives generator i every (y mod N == i)-th row.
+	ScanlineInterleave Partition = iota
+	// StripPartition gives generator i the i-th horizontal band.
+	StripPartition
+	// TileInterleave deals fixed-size screen tiles round-robin along
+	// tile rows.
+	TileInterleave
+)
+
+// String names the partition scheme.
+func (p Partition) String() string {
+	switch p {
+	case ScanlineInterleave:
+		return "scanline-interleave"
+	case StripPartition:
+		return "strips"
+	case TileInterleave:
+		return "tile-interleave"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
+// Mask returns the pixel-ownership predicate of generator fg out of n,
+// for a height-pixel screen. tile is the tile edge for TileInterleave.
+func Mask(p Partition, n, fg, height, tile int) func(x, y int) bool {
+	switch p {
+	case ScanlineInterleave:
+		return func(x, y int) bool { return y%n == fg }
+	case StripPartition:
+		band := (height + n - 1) / n
+		return func(x, y int) bool { return y/band == fg }
+	case TileInterleave:
+		return func(x, y int) bool { return (x/tile+y/tile)%n == fg }
+	default:
+		panic("parallel: unknown partition")
+	}
+}
+
+// FGResult is one fragment generator's share of a frame.
+type FGResult struct {
+	FG        int
+	Fragments uint64
+	Stats     cache.Stats
+}
+
+// Result summarizes a parallel rendering of one frame.
+type Result struct {
+	Partition Partition
+	N         int
+	PerFG     []FGResult
+}
+
+// TotalFragments sums the fragments over all generators.
+func (r Result) TotalFragments() uint64 {
+	var n uint64
+	for _, f := range r.PerFG {
+		n += f.Fragments
+	}
+	return n
+}
+
+// TotalMisses sums the cache misses over all generators, the shared
+// DRAM's aggregate line-fill traffic.
+func (r Result) TotalMisses() uint64 {
+	var n uint64
+	for _, f := range r.PerFG {
+		n += f.Stats.Misses
+	}
+	return n
+}
+
+// LoadImbalance returns max/mean fragments across generators: 1.0 is a
+// perfect balance; the frame time of a lock-step parallel machine scales
+// with this factor.
+func (r Result) LoadImbalance() float64 {
+	if len(r.PerFG) == 0 {
+		return 0
+	}
+	var max, sum uint64
+	for _, f := range r.PerFG {
+		sum += f.Fragments
+		if f.Fragments > max {
+			max = f.Fragments
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(r.PerFG))
+	return float64(max) / mean
+}
+
+// AggregateMissRate returns total misses over total accesses.
+func (r Result) AggregateMissRate() float64 {
+	var acc, miss uint64
+	for _, f := range r.PerFG {
+		acc += f.Stats.Accesses
+		miss += f.Stats.Misses
+	}
+	if acc == 0 {
+		return 0
+	}
+	return float64(miss) / float64(acc)
+}
+
+// Run renders the scene once per fragment generator (each masked to its
+// image-space share) with a private cache per generator, and collects
+// the per-generator statistics. tile is the tile edge for TileInterleave
+// (ignored otherwise).
+func Run(s *scenes.Scene, p Partition, n, tile int,
+	layout texture.LayoutSpec, cacheCfg cache.Config) (Result, error) {
+
+	if n < 1 {
+		return Result{}, fmt.Errorf("parallel: need at least one generator, got %d", n)
+	}
+	res := Result{Partition: p, N: n, PerFG: make([]FGResult, n)}
+	for fg := 0; fg < n; fg++ {
+		c := cache.New(cacheCfg)
+		r, err := s.Render(scenes.RenderOptions{
+			Layout:       layout,
+			Traversal:    s.DefaultTraversal(),
+			Sink:         c.Sink(),
+			FragmentMask: Mask(p, n, fg, s.Height, tile),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res.PerFG[fg] = FGResult{
+			FG:        fg,
+			Fragments: r.Stats.FragmentsTextured,
+			Stats:     c.Stats(),
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,95 @@
+// Package perf implements the Section 7 machine model: a pipelined
+// fragment generator at a fixed clock reading multiple texels per cycle
+// from the SRAM texture cache, with memory bandwidth derived from miss
+// rates and rendering performance derived from whether the miss latency
+// is hidden by prefetching.
+package perf
+
+// Model holds the machine constants of Section 7.1.
+type Model struct {
+	// ClockHz is the fragment generator clock (the paper assumes 100 MHz
+	// ASIC technology).
+	ClockHz float64
+	// TexelsPerCycle is the cache read bandwidth in texels (the paper's
+	// banked cache reads 4).
+	TexelsPerCycle int
+	// TexelsPerFragment is the filter cost: 8 for trilinear Mip Mapping.
+	TexelsPerFragment int
+	// TexelBytes is the texel size (32 bits).
+	TexelBytes int
+	// MissLatencyCycles is the time to fill one line from DRAM when the
+	// latency is not hidden ("roughly fifty 10ns cycles for a 128 byte
+	// cache line" — scaled by line size).
+	MissLatencyCyclesPer128B float64
+}
+
+// Default returns the paper's machine: 100 MHz, 4 texels/cycle, trilinear
+// filtering, 32-bit texels, ~50-cycle 128-byte fills.
+func Default() Model {
+	return Model{
+		ClockHz:                  100e6,
+		TexelsPerCycle:           4,
+		TexelsPerFragment:        8,
+		TexelBytes:               4,
+		MissLatencyCyclesPer128B: 50,
+	}
+}
+
+// PeakFragmentsPerSecond returns the compute-limited fragment rate: the
+// paper's 50 million textured fragments per second for the default model.
+func (m Model) PeakFragmentsPerSecond() float64 {
+	return m.ClockHz * float64(m.TexelsPerCycle) / float64(m.TexelsPerFragment)
+}
+
+// BandwidthBytesPerSecond converts a cache miss rate into the DRAM
+// bandwidth needed to sustain peak fragment rate with the given line
+// size: every miss fills one line.
+func (m Model) BandwidthBytesPerSecond(missRate float64, lineBytes int) float64 {
+	accessesPerSec := m.PeakFragmentsPerSecond() * float64(m.TexelsPerFragment)
+	return missRate * accessesPerSec * float64(lineBytes)
+}
+
+// UncachedBandwidthBytesPerSecond returns the requirement of an
+// equivalent-performance system with no cache: every texel lookup goes to
+// dedicated DRAM (the paper's 1.5 GB/s reference point).
+func (m Model) UncachedBandwidthBytesPerSecond() float64 {
+	return float64(m.TexelBytes) * float64(m.TexelsPerFragment) * m.PeakFragmentsPerSecond()
+}
+
+// BandwidthReduction returns the ratio of the uncached requirement to the
+// cached requirement — the paper's headline three-to-fifteen-times
+// reduction.
+func (m Model) BandwidthReduction(missRate float64, lineBytes int) float64 {
+	b := m.BandwidthBytesPerSecond(missRate, lineBytes)
+	if b == 0 {
+		return 0
+	}
+	return m.UncachedBandwidthBytesPerSecond() / b
+}
+
+// missLatencyCycles scales the 128-byte fill latency to a line size:
+// setup cost dominates, the burst scales with length.
+func (m Model) missLatencyCycles(lineBytes int) float64 {
+	const setup = 18 // cycles of RAS/CAS setup within the 50-cycle fill
+	burstPer128 := m.MissLatencyCyclesPer128B - setup
+	if burstPer128 < 0 {
+		// A fill faster than the setup floor: treat it all as setup so
+		// the latency never goes negative for short lines.
+		return m.MissLatencyCyclesPer128B
+	}
+	return setup + burstPer128*float64(lineBytes)/128
+}
+
+// SustainedFragmentsPerSecond returns the rendering performance at the
+// given miss rate. With latencyHidden (the Talisman-style prefetch of
+// Section 7.1.1) the pipeline runs at peak as long as bandwidth is met;
+// without it, every miss stalls the pipeline for the full fill latency.
+func (m Model) SustainedFragmentsPerSecond(missRate float64, lineBytes int, latencyHidden bool) float64 {
+	if latencyHidden {
+		return m.PeakFragmentsPerSecond()
+	}
+	cyclesPerFragment := float64(m.TexelsPerFragment) / float64(m.TexelsPerCycle)
+	missesPerFragment := missRate * float64(m.TexelsPerFragment)
+	cyclesPerFragment += missesPerFragment * m.missLatencyCycles(lineBytes)
+	return m.ClockHz / cyclesPerFragment
+}

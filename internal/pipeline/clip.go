@@ -1,0 +1,64 @@
+package pipeline
+
+import "texcache/internal/vecmath"
+
+// clipVertex is a vertex in homogeneous clip space with the attributes
+// that must survive clipping.
+type clipVertex struct {
+	Pos   vecmath.Vec4
+	UV    vecmath.Vec2
+	Color vecmath.Vec3
+}
+
+// lerpClip interpolates every attribute between a and b.
+func lerpClip(a, b clipVertex, t float64) clipVertex {
+	return clipVertex{
+		Pos:   a.Pos.Lerp(b.Pos, t),
+		UV:    a.UV.Lerp(b.UV, t),
+		Color: a.Color.Lerp(b.Color, t),
+	}
+}
+
+// clipPlane evaluates one frustum half-space: inside when the returned
+// distance is >= 0. The six planes of the canonical clip volume are
+// w+x, w-x, w+y, w-y, w+z, w-z >= 0.
+type clipPlane func(vecmath.Vec4) float64
+
+var frustumPlanes = []clipPlane{
+	func(p vecmath.Vec4) float64 { return p.W + p.X },
+	func(p vecmath.Vec4) float64 { return p.W - p.X },
+	func(p vecmath.Vec4) float64 { return p.W + p.Y },
+	func(p vecmath.Vec4) float64 { return p.W - p.Y },
+	func(p vecmath.Vec4) float64 { return p.W + p.Z },
+	func(p vecmath.Vec4) float64 { return p.W - p.Z },
+}
+
+// clipTriangle clips the triangle (a, b, c) against the full canonical
+// view frustum using Sutherland-Hodgman reclipping, returning the
+// surviving polygon as a vertex loop (possibly empty, up to 9 vertices).
+// The scratch slices avoid per-triangle allocation.
+func clipTriangle(a, b, c clipVertex, scratch *[2][]clipVertex) []clipVertex {
+	in := append(scratch[0][:0], a, b, c)
+	out := scratch[1][:0]
+	for _, plane := range frustumPlanes {
+		out = out[:0]
+		n := len(in)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			cur, next := in[i], in[(i+1)%n]
+			dc, dn := plane(cur.Pos), plane(next.Pos)
+			if dc >= 0 {
+				out = append(out, cur)
+			}
+			if (dc >= 0) != (dn >= 0) {
+				t := dc / (dc - dn)
+				out = append(out, lerpClip(cur, next, t))
+			}
+		}
+		in, out = out, in
+	}
+	scratch[0], scratch[1] = in, out
+	return in
+}

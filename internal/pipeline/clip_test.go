@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"texcache/internal/vecmath"
+)
+
+func cv(x, y, z, w float64) clipVertex {
+	return clipVertex{Pos: vecmath.Vec4{X: x, Y: y, Z: z, W: w}}
+}
+
+func TestClipInsideTriangleUnchanged(t *testing.T) {
+	var scratch [2][]clipVertex
+	a, b, c := cv(0, 0, 0, 1), cv(0.5, 0, 0, 1), cv(0, 0.5, 0, 1)
+	out := clipTriangle(a, b, c, &scratch)
+	if len(out) != 3 {
+		t.Fatalf("inside triangle clipped to %d vertices", len(out))
+	}
+	for i, want := range []clipVertex{a, b, c} {
+		if out[i].Pos != want.Pos {
+			t.Errorf("vertex %d changed: %v", i, out[i].Pos)
+		}
+	}
+}
+
+func TestClipOutsideTriangleEmpty(t *testing.T) {
+	var scratch [2][]clipVertex
+	// Entirely beyond the right plane: x > w.
+	out := clipTriangle(cv(2, 0, 0, 1), cv(3, 0, 0, 1), cv(2, 1, 0, 1), &scratch)
+	if len(out) != 0 {
+		t.Errorf("outside triangle kept %d vertices", len(out))
+	}
+	// Entirely behind the eye: w < 0 fails every w+x / w-x pair.
+	out = clipTriangle(cv(0, 0, 0, -1), cv(1, 0, 0, -1), cv(0, 1, 0, -1), &scratch)
+	if len(out) != 0 {
+		t.Errorf("behind-eye triangle kept %d vertices", len(out))
+	}
+}
+
+func TestClipStraddlingProducesValidPolygon(t *testing.T) {
+	// Property: every output vertex of a clipped triangle satisfies all
+	// six plane inequalities (within epsilon), the polygon has at most 9
+	// vertices, and attributes stay within the interpolation hull.
+	rng := rand.New(rand.NewSource(77))
+	var scratch [2][]clipVertex
+	const eps = 1e-9
+	for trial := 0; trial < 2000; trial++ {
+		rv := func() clipVertex {
+			v := cv(rng.NormFloat64()*2, rng.NormFloat64()*2, rng.NormFloat64()*2,
+				rng.Float64()*3+0.01)
+			v.UV = vecmath.Vec2{X: rng.Float64(), Y: rng.Float64()}
+			return v
+		}
+		a, b, c := rv(), rv(), rv()
+		out := clipTriangle(a, b, c, &scratch)
+		if len(out) > 9 {
+			t.Fatalf("trial %d: %d vertices", trial, len(out))
+		}
+		minU := min(a.UV.X, min(b.UV.X, c.UV.X))
+		maxU := max(a.UV.X, max(b.UV.X, c.UV.X))
+		for _, v := range out {
+			for pi, plane := range frustumPlanes {
+				if plane(v.Pos) < -eps*(1+abs64(v.Pos.W)) {
+					t.Fatalf("trial %d: vertex %v violates plane %d by %g",
+						trial, v.Pos, pi, plane(v.Pos))
+				}
+			}
+			if v.UV.X < minU-eps || v.UV.X > maxU+eps {
+				t.Fatalf("trial %d: interpolated u %g escapes [%g, %g]",
+					trial, v.UV.X, minU, maxU)
+			}
+		}
+	}
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestClipEdgeIntersectionExact(t *testing.T) {
+	// A segment from w=1,x=0 to w=1,x=2 crosses x=w at x=1; the clipped
+	// vertex interpolates attributes at t=0.5.
+	var scratch [2][]clipVertex
+	a := cv(0, 0, 0, 1)
+	a.UV = vecmath.Vec2{X: 0}
+	b := cv(2, 0, 0, 1)
+	b.UV = vecmath.Vec2{X: 1}
+	c := cv(0, 0.5, 0, 1)
+	c.UV = vecmath.Vec2{X: 0}
+	out := clipTriangle(a, b, c, &scratch)
+	foundBoundary := false
+	for _, v := range out {
+		if abs64(v.Pos.X-v.Pos.W) < 1e-12 { // on the x=w plane
+			foundBoundary = true
+			if abs64(v.UV.X-0.5) > 0.26 { // two boundary points exist; both have u in [0.24, 0.5]
+				t.Errorf("boundary u = %g", v.UV.X)
+			}
+		}
+	}
+	if !foundBoundary {
+		t.Error("no vertex on the clipping plane")
+	}
+}

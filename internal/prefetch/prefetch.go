@@ -1,0 +1,165 @@
+// Package prefetch simulates the latency-hiding scheme of Section 7.1.1:
+// the triangles are rasterized twice, with the first pass computing texel
+// addresses and prefetching missing lines, and the second pass — a FIFO
+// of fragments behind — performing the actual texturing. A miss is
+// harmless when the FIFO gives the memory system enough lead time to
+// finish the fill before the consuming fragment arrives.
+//
+// The model advances in fragment-generator cycles (4 texel reads per
+// cycle, as in the Section 7 machine). The front rasterizer runs a fixed
+// number of texel accesses ahead of the back rasterizer; each miss
+// becomes a fill request stamped with its issue time; fills are serviced
+// in order by a single memory channel with a fixed latency and occupancy
+// per line. The back rasterizer stalls whenever it reaches a texel whose
+// fill has not completed.
+package prefetch
+
+import (
+	"fmt"
+
+	"texcache/internal/cache"
+)
+
+// Config describes the prefetching texture unit.
+type Config struct {
+	// Cache is the organization of the texture cache.
+	Cache cache.Config
+	// FIFODepth is the lead of the address rasterizer over the texturing
+	// rasterizer, in fragments. Zero models a non-prefetching design
+	// that stalls on every miss.
+	FIFODepth int
+	// TexelsPerCycle is the cache read rate (4 in the paper's machine).
+	TexelsPerCycle int
+	// TexelsPerFragment is the filter cost (8 for trilinear).
+	TexelsPerFragment int
+	// FillLatency is the fixed DRAM access latency in cycles before a
+	// line starts arriving.
+	FillLatency int
+	// FillOccupancy is the cycles one fill occupies the memory channel
+	// (the line transfer time); back-to-back fills serialize on it.
+	FillOccupancy int
+}
+
+// Default returns the paper's machine with the given cache and FIFO
+// depth: 4 texels/cycle, 8 texels/fragment, a 50-cycle 128-byte fill
+// split into 18 cycles of latency and 32 of transfer occupancy.
+func Default(c cache.Config, fifoDepth int) Config {
+	return Config{
+		Cache:             c,
+		FIFODepth:         fifoDepth,
+		TexelsPerCycle:    4,
+		TexelsPerFragment: 8,
+		FillLatency:       18,
+		FillOccupancy:     32,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if c.FIFODepth < 0 {
+		return fmt.Errorf("prefetch: negative FIFO depth %d", c.FIFODepth)
+	}
+	if c.TexelsPerCycle <= 0 || c.TexelsPerFragment <= 0 {
+		return fmt.Errorf("prefetch: non-positive rate parameters: %+v", c)
+	}
+	if c.FillLatency < 0 || c.FillOccupancy <= 0 {
+		return fmt.Errorf("prefetch: bad fill timing: %+v", c)
+	}
+	return nil
+}
+
+// Result reports the timing outcome of one frame.
+type Result struct {
+	Accesses   uint64
+	Misses     uint64
+	ComputeCyc uint64 // cycles the back rasterizer needed for reads alone
+	StallCyc   uint64 // cycles lost waiting for fills
+	TotalCyc   uint64
+}
+
+// Utilization returns compute cycles over total cycles (1 = fully
+// hidden latency).
+func (r Result) Utilization() float64 {
+	if r.TotalCyc == 0 {
+		return 0
+	}
+	return float64(r.ComputeCyc) / float64(r.TotalCyc)
+}
+
+// FragmentsPerSecond converts the cycle counts into rendering
+// performance at the given clock, for texelsPerFragment-texel fragments.
+func (r Result) FragmentsPerSecond(clockHz float64, texelsPerFragment int) float64 {
+	if r.TotalCyc == 0 {
+		return 0
+	}
+	fragments := float64(r.Accesses) / float64(texelsPerFragment)
+	return fragments / (float64(r.TotalCyc) / clockHz)
+}
+
+// Simulate replays a texel address trace through the prefetching unit.
+func Simulate(cfg Config, trace *cache.Trace) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	c := cache.New(cfg.Cache)
+
+	// The front rasterizer leads by FIFODepth fragments' worth of texel
+	// accesses. Cache state is updated at prefetch time (the fill is
+	// already in flight when the back rasterizer arrives), so the miss
+	// pattern itself is unchanged — only the timing moves.
+	leadAccesses := uint64(cfg.FIFODepth * cfg.TexelsPerFragment)
+
+	// fillDone[i] holds the completion time of the fill for access i
+	// when access i missed; hits carry zero.
+	var res Result
+	res.Accesses = uint64(trace.Len())
+
+	// Walk the trace once. Times are in access units (texelsPerCycle
+	// accesses per pipeline cycle) to keep the math integral. The fill
+	// for access i — if i misses — is issued when the front rasterizer
+	// reaches i, i.e. leadAccesses of back-rasterizer progress earlier,
+	// and the back rasterizer consumes i at idx + accumulated stalls.
+	perCycle := uint64(cfg.TexelsPerCycle)
+	latency := uint64(cfg.FillLatency) * perCycle
+	occupancy := uint64(cfg.FillOccupancy) * perCycle
+
+	var channelFree uint64 // single memory channel, in access units
+	var stallAccUnits uint64
+	var backDelay uint64 // total stall so far; shifts both rasterizers
+
+	for i := 0; i < trace.Len(); i++ {
+		if c.Access(trace.Addrs[i]) {
+			continue
+		}
+		res.Misses++
+		idx := uint64(i)
+		issueTime := backDelay
+		if idx > leadAccesses {
+			issueTime += idx - leadAccesses
+		}
+		start := max64(issueTime, channelFree)
+		done := start + latency + occupancy
+		channelFree = start + occupancy
+
+		if useTime := idx + backDelay; done > useTime {
+			stall := done - useTime
+			backDelay += stall
+			stallAccUnits += stall
+		}
+	}
+
+	res.ComputeCyc = (res.Accesses + perCycle - 1) / perCycle
+	res.StallCyc = (stallAccUnits + perCycle - 1) / perCycle
+	res.TotalCyc = res.ComputeCyc + res.StallCyc
+	return res, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package prefetch
+
+import (
+	"testing"
+
+	"texcache/internal/cache"
+)
+
+func testCacheCfg() cache.Config {
+	return cache.Config{SizeBytes: 4 << 10, LineBytes: 128, Ways: 2}
+}
+
+// strideTrace builds a trace with a controllable miss rate: repeated
+// groups of `reuse` accesses to one line before moving to the next.
+func strideTrace(lines, reuse int) *cache.Trace {
+	tr := cache.NewTrace(lines * reuse)
+	for l := 0; l < lines; l++ {
+		for r := 0; r < reuse; r++ {
+			tr.Access(uint64(l)*128 + uint64(r*4%128))
+		}
+	}
+	return tr
+}
+
+func TestValidate(t *testing.T) {
+	good := Default(testCacheCfg(), 32)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := good
+	bad.FIFODepth = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative FIFO accepted")
+	}
+	bad = good
+	bad.TexelsPerCycle = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero texels/cycle accepted")
+	}
+	bad = good
+	bad.FillOccupancy = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero occupancy accepted")
+	}
+	bad = good
+	bad.Cache.SizeBytes = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid cache accepted")
+	}
+	if _, err := Simulate(bad, cache.NewTrace(0)); err == nil {
+		t.Error("Simulate accepted invalid config")
+	}
+}
+
+func TestNoMissesRunsAtPeak(t *testing.T) {
+	tr := cache.NewTrace(0)
+	for i := 0; i < 4096; i++ {
+		tr.Access(0) // one line, all hits after the first
+	}
+	res, err := Simulate(Default(testCacheCfg(), 0), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 1 {
+		t.Errorf("misses = %d", res.Misses)
+	}
+	if res.Utilization() < 0.95 {
+		t.Errorf("utilization = %v, want ~1", res.Utilization())
+	}
+}
+
+func TestZeroFIFOStallsEveryMiss(t *testing.T) {
+	tr := strideTrace(2000, 8) // one miss per 8 accesses
+	res, err := Simulate(Default(testCacheCfg(), 0), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses < 1900 {
+		t.Fatalf("misses = %d, want ~2000", res.Misses)
+	}
+	// Every miss stalls ~latency+occupancy cycles: utilization is low.
+	if res.Utilization() > 0.2 {
+		t.Errorf("zero-FIFO utilization = %v, want low", res.Utilization())
+	}
+}
+
+func TestDeeperFIFOHidesLatency(t *testing.T) {
+	tr := strideTrace(2000, 8)
+	var prev float64
+	for i, depth := range []int{0, 4, 16, 64, 256} {
+		res, err := Simulate(Default(testCacheCfg(), depth), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := res.Utilization()
+		if i > 0 && u+1e-9 < prev {
+			t.Errorf("depth %d: utilization %v below shallower FIFO's %v", depth, u, prev)
+		}
+		prev = u
+	}
+	// A deep FIFO on this stream still cannot reach peak: the channel
+	// occupancy (32 cycles per fill at one fill per 2 fragment-cycles of
+	// work) exceeds the compute time — bandwidth-bound, as Section 7
+	// distinguishes from latency-bound.
+	deep, _ := Simulate(Default(testCacheCfg(), 1024), tr)
+	if deep.Utilization() > 0.5 {
+		t.Errorf("bandwidth-bound stream reached %v utilization", deep.Utilization())
+	}
+}
+
+func TestDeepFIFOReachesPeakWhenBandwidthSuffices(t *testing.T) {
+	// One miss per 256 accesses = one fill per 256 access units against
+	// 128 access units of channel occupancy — bandwidth is ample, so a
+	// deep FIFO hides everything.
+	tr := strideTrace(500, 256)
+	shallow, err := Simulate(Default(testCacheCfg(), 0), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Simulate(Default(testCacheCfg(), 128), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Utilization() < 0.99 {
+		t.Errorf("deep FIFO utilization = %v, want ~1", deep.Utilization())
+	}
+	if shallow.Utilization() > 0.6 {
+		t.Errorf("shallow utilization = %v unexpectedly high", shallow.Utilization())
+	}
+}
+
+func TestFragmentsPerSecond(t *testing.T) {
+	tr := strideTrace(100, 256)
+	res, err := Simulate(Default(testCacheCfg(), 128), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := res.FragmentsPerSecond(100e6, 8)
+	// ~full utilization: 4 texels/cycle / 8 texels/fragment * 100MHz = 50M/s.
+	if fps < 45e6 || fps > 51e6 {
+		t.Errorf("fragments/s = %v, want ~50e6", fps)
+	}
+	var zero Result
+	if zero.FragmentsPerSecond(100e6, 8) != 0 || zero.Utilization() != 0 {
+		t.Error("zero result helpers should be 0")
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	tr := strideTrace(100, 8)
+	res, err := Simulate(Default(testCacheCfg(), 16), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCyc != res.ComputeCyc+res.StallCyc {
+		t.Errorf("cycle accounting broken: %+v", res)
+	}
+	if res.Accesses != uint64(tr.Len()) {
+		t.Errorf("accesses = %d, want %d", res.Accesses, tr.Len())
+	}
+}

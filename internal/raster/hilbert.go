@@ -1,0 +1,58 @@
+package raster
+
+// Hilbert-order traversal. Footnote 1 of the paper observes that "the
+// screen rasterization path that would lead to the smallest working set
+// would follow a Peano-Hilbert order since this would traverse a region
+// of the texture in a spatially contiguous manner". This file provides
+// that path as a third traversal mode so the claim can be tested.
+
+// HilbertOrder scans pixels along a Peano-Hilbert space-filling curve
+// covering the triangle's bounding box. It ignores Traversal tiling: the
+// curve is itself a recursive tiling.
+const HilbertOrder Order = 2
+
+// hilbertD2XY converts a distance d along the Hilbert curve of a 2^k x
+// 2^k grid (n = 2^k) into (x, y) coordinates. Standard bit-twiddling
+// walk from the least significant quadrant upward.
+func hilbertD2XY(n int, d int) (x, y int) {
+	rx, ry := 0, 0
+	t := d
+	for s := 1; s < n; s *= 2 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// hilbertRot rotates/flips a quadrant appropriately.
+func hilbertRot(n, x, y, rx, ry int) (int, int) {
+	if ry == 0 {
+		if rx == 1 {
+			x = n - 1 - x
+			y = n - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// scanHilbert emits the pixels of [x0,x1]x[y0,y1] in Hilbert order over
+// the smallest enclosing power-of-two square anchored at (x0, y0),
+// invoking visit for each in-range pixel.
+func scanHilbert(x0, y0, x1, y1 int, visit func(px, py int)) {
+	w, h := x1-x0+1, y1-y0+1
+	side := 1
+	for side < w || side < h {
+		side <<= 1
+	}
+	for d := 0; d < side*side; d++ {
+		x, y := hilbertD2XY(side, d)
+		if x < w && y < h {
+			visit(x0+x, y0+y)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package raster
+
+import (
+	"testing"
+)
+
+func TestHilbertD2XYIsBijective(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		seen := make(map[[2]int]bool, n*n)
+		for d := 0; d < n*n; d++ {
+			x, y := hilbertD2XY(n, d)
+			if x < 0 || x >= n || y < 0 || y >= n {
+				t.Fatalf("n=%d d=%d: (%d,%d) out of range", n, d, x, y)
+			}
+			if seen[[2]int{x, y}] {
+				t.Fatalf("n=%d d=%d: (%d,%d) repeated", n, d, x, y)
+			}
+			seen[[2]int{x, y}] = true
+		}
+		if len(seen) != n*n {
+			t.Fatalf("n=%d: covered %d cells", n, len(seen))
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// The defining property: consecutive curve points are 4-neighbors.
+	const n = 32
+	px, py := hilbertD2XY(n, 0)
+	for d := 1; d < n*n; d++ {
+		x, y := hilbertD2XY(n, d)
+		dist := abs(x-px) + abs(y-py)
+		if dist != 1 {
+			t.Fatalf("d=%d: jump from (%d,%d) to (%d,%d)", d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestHilbertTraversalSameCoverage(t *testing.T) {
+	v0 := vert(1, 2, 0, 0)
+	v1 := vert(30, 5, 1, 0)
+	v2 := vert(10, 28, 0, 1)
+	ref := map[[2]int]Fragment{}
+	for _, f := range collect(v0, v1, v2, 32, 32, Traversal{Order: RowMajor}) {
+		ref[[2]int{f.X, f.Y}] = f
+	}
+	got := collect(v0, v1, v2, 32, 32, Traversal{Order: HilbertOrder})
+	if len(got) != len(ref) {
+		t.Fatalf("hilbert covered %d fragments, row-major %d", len(got), len(ref))
+	}
+	for _, f := range got {
+		if r, ok := ref[[2]int{f.X, f.Y}]; !ok || r != f {
+			t.Fatalf("hilbert fragment differs at (%d,%d)", f.X, f.Y)
+		}
+	}
+}
+
+func TestHilbertOrderLocality(t *testing.T) {
+	// Consecutive fragments along the Hilbert path over a full-square
+	// triangle pair stay close: mean |dx|+|dy| must be far below the
+	// row-major full-width jumps... for a single large triangle the
+	// curve's step distance is 1 except when skipping outside pixels.
+	frags := collect(vert(0, 0, 0, 0), vert(32, 0, 1, 0), vert(0, 32, 0, 1), 32, 32,
+		Traversal{Order: HilbertOrder})
+	if len(frags) == 0 {
+		t.Fatal("no fragments")
+	}
+	sum, n := 0, 0
+	for i := 1; i < len(frags); i++ {
+		sum += abs(frags[i].X-frags[i-1].X) + abs(frags[i].Y-frags[i-1].Y)
+		n++
+	}
+	mean := float64(sum) / float64(n)
+	if mean > 2.5 {
+		t.Errorf("hilbert mean step = %v, want near 1", mean)
+	}
+}
+
+func TestOrderStringHilbert(t *testing.T) {
+	if HilbertOrder.String() != "hilbert" {
+		t.Error("hilbert order name wrong")
+	}
+}

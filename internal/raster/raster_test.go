@@ -1,0 +1,297 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// vert builds a screen-space vertex with w=1 (no perspective) and the
+// given UV.
+func vert(x, y, u, v float64) Vert {
+	return Vert{X: x, Y: y, Z: 0, InvW: 1, UW: u, VW: v, RW: 1, GW: 1, BW: 1}
+}
+
+func collect(v0, v1, v2 Vert, w, h int, trav Traversal) []Fragment {
+	var out []Fragment
+	Rasterize(v0, v1, v2, w, h, 16, 16, trav, func(f *Fragment) {
+		out = append(out, *f)
+	})
+	return out
+}
+
+func TestFullScreenQuadCoverage(t *testing.T) {
+	// Two triangles covering a 8x8 screen exactly: every pixel covered
+	// exactly once (top-left rule at the shared diagonal).
+	a := vert(0, 0, 0, 0)
+	b := vert(8, 0, 1, 0)
+	c := vert(8, 8, 1, 1)
+	d := vert(0, 8, 0, 1)
+	seen := map[[2]int]int{}
+	emit := func(f *Fragment) { seen[[2]int{f.X, f.Y}]++ }
+	Rasterize(a, b, c, 8, 8, 0, 0, Traversal{}, emit)
+	Rasterize(a, c, d, 8, 8, 0, 0, Traversal{}, emit)
+	if len(seen) != 64 {
+		t.Fatalf("covered %d pixels, want 64", len(seen))
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("pixel %v covered %d times", p, n)
+		}
+	}
+}
+
+func TestSharedEdgeNoDoubleCoverage(t *testing.T) {
+	// Property: random triangle pairs sharing an edge never double-cover
+	// and never leave gaps along the shared edge interior.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		p0 := vert(rng.Float64()*32, rng.Float64()*32, 0, 0)
+		p1 := vert(rng.Float64()*32, rng.Float64()*32, 1, 0)
+		pa := vert(rng.Float64()*32, rng.Float64()*32, 0, 1)
+		pb := vert(rng.Float64()*32, rng.Float64()*32, 1, 1)
+		seen := map[[2]int]int{}
+		emit := func(f *Fragment) { seen[[2]int{f.X, f.Y}]++ }
+		Rasterize(p0, p1, pa, 32, 32, 0, 0, Traversal{}, emit)
+		Rasterize(p1, p0, pb, 32, 32, 0, 0, Traversal{}, emit)
+		// pa and pb may be on the same side; only the "opposite sides"
+		// cases exercise the shared edge, but double coverage is a bug in
+		// every case when the two triangles do not overlap in area.
+		side := func(p Vert) float64 {
+			return (p1.X-p0.X)*(p.Y-p0.Y) - (p1.Y-p0.Y)*(p.X-p0.X)
+		}
+		if side(pa)*side(pb) < 0 {
+			for p, n := range seen {
+				if n != 1 {
+					t.Fatalf("trial %d: pixel %v covered %d times", trial, p, n)
+				}
+			}
+		}
+	}
+}
+
+func TestTraversalOrdersSameCoverage(t *testing.T) {
+	// Property: traversal order changes the sequence, never the set of
+	// fragments or their attributes.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		v0 := vert(rng.Float64()*64, rng.Float64()*64, 0, 0)
+		v1 := vert(rng.Float64()*64, rng.Float64()*64, 3, 0)
+		v2 := vert(rng.Float64()*64, rng.Float64()*64, 0, 3)
+		travs := []Traversal{
+			{Order: RowMajor},
+			{Order: ColumnMajor},
+			{Order: RowMajor, TileW: 8, TileH: 8},
+			{Order: ColumnMajor, TileW: 8, TileH: 8},
+			{Order: RowMajor, TileW: 16, TileH: 4},
+		}
+		ref := map[[2]int]Fragment{}
+		for _, f := range collect(v0, v1, v2, 64, 64, travs[0]) {
+			ref[[2]int{f.X, f.Y}] = f
+		}
+		for _, trav := range travs[1:] {
+			got := collect(v0, v1, v2, 64, 64, trav)
+			if len(got) != len(ref) {
+				t.Fatalf("trial %d trav %+v: %d fragments, want %d", trial, trav, len(got), len(ref))
+			}
+			for _, f := range got {
+				r, ok := ref[[2]int{f.X, f.Y}]
+				if !ok {
+					t.Fatalf("trial %d trav %+v: unexpected fragment at (%d,%d)", trial, trav, f.X, f.Y)
+				}
+				if r != f {
+					t.Fatalf("trial %d trav %+v: fragment attrs differ at (%d,%d):\n%+v\n%+v",
+						trial, trav, f.X, f.Y, r, f)
+				}
+			}
+		}
+	}
+}
+
+func TestRowMajorOrdering(t *testing.T) {
+	frags := collect(vert(0, 0, 0, 0), vert(16, 0, 1, 0), vert(0, 16, 0, 1), 16, 16, Traversal{Order: RowMajor})
+	for i := 1; i < len(frags); i++ {
+		a, b := frags[i-1], frags[i]
+		if b.Y < a.Y || (b.Y == a.Y && b.X <= a.X) {
+			t.Fatalf("row-major order violated: %v then %v", a, b)
+		}
+	}
+}
+
+func TestColumnMajorOrdering(t *testing.T) {
+	frags := collect(vert(0, 0, 0, 0), vert(16, 0, 1, 0), vert(0, 16, 0, 1), 16, 16, Traversal{Order: ColumnMajor})
+	for i := 1; i < len(frags); i++ {
+		a, b := frags[i-1], frags[i]
+		if b.X < a.X || (b.X == a.X && b.Y <= a.Y) {
+			t.Fatalf("column-major order violated: %v then %v", a, b)
+		}
+	}
+}
+
+func TestTiledOrderingVisitsTileCompletely(t *testing.T) {
+	// With 4x4 tiles over a full-screen right triangle, all fragments of
+	// one tile must appear consecutively.
+	trav := Traversal{Order: RowMajor, TileW: 4, TileH: 4}
+	frags := collect(vert(0, 0, 0, 0), vert(16, 0, 1, 0), vert(0, 16, 0, 1), 16, 16, trav)
+	tileOf := func(f Fragment) [2]int { return [2]int{f.X / 4, f.Y / 4} }
+	seenTiles := map[[2]int]bool{}
+	cur := [2]int{-1, -1}
+	for _, f := range frags {
+		tl := tileOf(f)
+		if tl != cur {
+			if seenTiles[tl] {
+				t.Fatalf("tile %v revisited", tl)
+			}
+			seenTiles[tl] = true
+			cur = tl
+		}
+	}
+}
+
+func TestAttributeInterpolationAffine(t *testing.T) {
+	// With w=1 everywhere, interpolation is affine: u should equal x/16
+	// (shifted by the half-pixel center) on an axis-aligned gradient.
+	v0 := vert(0, 0, 0, 0)
+	v1 := vert(16, 0, 1, 0)
+	v2 := vert(0, 16, 0, 1)
+	frags := collect(v0, v1, v2, 16, 16, Traversal{})
+	for _, f := range frags {
+		wantU := (float64(f.X) + 0.5) / 16
+		wantV := (float64(f.Y) + 0.5) / 16
+		if math.Abs(f.U-wantU) > 1e-12 || math.Abs(f.V-wantV) > 1e-12 {
+			t.Fatalf("fragment (%d,%d): uv=(%g,%g), want (%g,%g)", f.X, f.Y, f.U, f.V, wantU, wantV)
+		}
+	}
+}
+
+func TestPerspectiveCorrectInterpolation(t *testing.T) {
+	// A triangle with varying w: perspective-correct u at the midpoint of
+	// an edge between w=1 and w=3 vertices is NOT the affine average.
+	// Exact check: attributes pre-divided by w interpolate linearly; at
+	// the screen midpoint of the edge, u = (u0/w0 + u1/w1)/2 / ((1/w0 + 1/w1)/2).
+	v0 := Vert{X: 0, Y: 8, InvW: 1, UW: 0}
+	v1 := Vert{X: 16, Y: 8, InvW: 1.0 / 3, UW: 1.0 / 3} // u=1, w=3
+	v2 := Vert{X: 8, Y: 0, InvW: 1, UW: 0}
+	var got *Fragment
+	Rasterize(v0, v1, v2, 16, 16, 16, 16, Traversal{}, func(f *Fragment) {
+		if f.X == 8 && f.Y == 7 {
+			c := *f
+			got = &c
+		}
+	})
+	if got == nil {
+		t.Fatal("midpoint fragment not covered")
+	}
+	// Independent reference: solve barycentrics of the pixel center and
+	// apply the hyperbolic formula u = sum(wi*ui/wi) / sum(wi/wi).
+	px, py := 8.5, 7.5
+	area := (v1.X-v0.X)*(v2.Y-v0.Y) - (v1.Y-v0.Y)*(v2.X-v0.X)
+	w0 := ((v1.X-px)*(v2.Y-py) - (v1.Y-py)*(v2.X-px)) / area
+	w1 := ((v2.X-px)*(v0.Y-py) - (v2.Y-py)*(v0.X-px)) / area
+	w2 := 1 - w0 - w1
+	d := w0*v0.InvW + w1*v1.InvW + w2*v2.InvW
+	wantU := (w0*v0.UW + w1*v1.UW + w2*v2.UW) / d
+	if math.Abs(got.U-wantU) > 1e-12 {
+		t.Errorf("perspective u = %v, want %v", got.U, wantU)
+	}
+	// And it must differ from the affine interpolation (u1 = 1 at v1).
+	affine := w1 * 1.0
+	if math.Abs(got.U-affine) < 1e-3 {
+		t.Errorf("u = %v matches affine %v; perspective correction missing", got.U, affine)
+	}
+}
+
+func TestLambdaMatchesScale(t *testing.T) {
+	// UVs spanning [0,1] over a 16-pixel triangle with a 64-texel texture:
+	// 4 texels per pixel -> lambda = 2 everywhere.
+	v0 := vert(0, 0, 0, 0)
+	v1 := vert(16, 0, 1, 0)
+	v2 := vert(0, 16, 0, 1)
+	var lambdas []float64
+	Rasterize(v0, v1, v2, 16, 16, 64, 64, Traversal{}, func(f *Fragment) {
+		lambdas = append(lambdas, f.Lambda)
+	})
+	if len(lambdas) == 0 {
+		t.Fatal("no fragments")
+	}
+	for _, l := range lambdas {
+		if math.Abs(l-2) > 1e-9 {
+			t.Fatalf("lambda = %v, want 2", l)
+		}
+	}
+}
+
+func TestLambdaMagnification(t *testing.T) {
+	// One texel stretched across many pixels gives negative lambda.
+	v0 := vert(0, 0, 0, 0)
+	v1 := vert(64, 0, 0.25, 0)
+	v2 := vert(0, 64, 0, 0.25)
+	var sample *Fragment
+	Rasterize(v0, v1, v2, 64, 64, 16, 16, Traversal{}, func(f *Fragment) {
+		if sample == nil {
+			c := *f
+			sample = &c
+		}
+	})
+	if sample == nil {
+		t.Fatal("no fragments")
+	}
+	if sample.Lambda >= 0 {
+		t.Errorf("lambda = %v, want negative (magnified)", sample.Lambda)
+	}
+}
+
+func TestDegenerateTriangleNoFragments(t *testing.T) {
+	v := vert(5, 5, 0, 0)
+	if got := collect(v, v, v, 16, 16, Traversal{}); len(got) != 0 {
+		t.Errorf("degenerate triangle produced %d fragments", len(got))
+	}
+	// Collinear.
+	if got := collect(vert(0, 0, 0, 0), vert(4, 4, 0, 0), vert(8, 8, 0, 0), 16, 16, Traversal{}); len(got) != 0 {
+		t.Errorf("collinear triangle produced %d fragments", len(got))
+	}
+}
+
+func TestWindingInsensitive(t *testing.T) {
+	v0, v1, v2 := vert(1, 1, 0, 0), vert(14, 2, 1, 0), vert(7, 13, 0, 1)
+	a := collect(v0, v1, v2, 16, 16, Traversal{})
+	b := collect(v0, v2, v1, 16, 16, Traversal{})
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("winding changed coverage: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestOffscreenClampsToBounds(t *testing.T) {
+	// A triangle partially off-screen only yields in-bounds fragments.
+	frags := collect(vert(-10, -10, 0, 0), vert(30, -5, 1, 0), vert(5, 30, 0, 1), 16, 16, Traversal{})
+	if len(frags) == 0 {
+		t.Fatal("no fragments")
+	}
+	for _, f := range frags {
+		if f.X < 0 || f.X >= 16 || f.Y < 0 || f.Y >= 16 {
+			t.Fatalf("out-of-bounds fragment (%d,%d)", f.X, f.Y)
+		}
+	}
+}
+
+func TestZInterpolation(t *testing.T) {
+	v0, v1, v2 := vert(0, 0, 0, 0), vert(16, 0, 1, 0), vert(0, 16, 0, 1)
+	v0.Z, v1.Z, v2.Z = 0, 1, 1
+	var zmin, zmax = math.Inf(1), math.Inf(-1)
+	Rasterize(v0, v1, v2, 16, 16, 0, 0, Traversal{}, func(f *Fragment) {
+		zmin = math.Min(zmin, f.Z)
+		zmax = math.Max(zmax, f.Z)
+	})
+	if zmin < 0 || zmax > 1 {
+		t.Errorf("z outside [0,1]: [%v, %v]", zmin, zmax)
+	}
+	if zmax-zmin < 0.5 {
+		t.Errorf("z barely varies: [%v, %v]", zmin, zmax)
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if RowMajor.String() != "horizontal" || ColumnMajor.String() != "vertical" {
+		t.Error("Order.String mismatch")
+	}
+}

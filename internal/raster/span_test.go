@@ -1,0 +1,71 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSpanMatchesExhaustiveScan is the safety net for the span fast
+// path: for random triangles, the span bounds must select exactly the
+// pixels the per-pixel predicate accepts, on both axes.
+func TestSpanMatchesExhaustiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	const W, H = 48, 48
+	for trial := 0; trial < 500; trial++ {
+		v0 := vert(rng.Float64()*W, rng.Float64()*H, 0, 0)
+		v1 := vert(rng.Float64()*W, rng.Float64()*H, 1, 0)
+		v2 := vert(rng.Float64()*W, rng.Float64()*H, 0, 1)
+		tr, ok := setup(v0, v1, v2)
+		if !ok {
+			continue
+		}
+		for py := 0; py < H; py++ {
+			lo, hi := tr.spanX(py, 0, W-1)
+			cy := float64(py) + 0.5
+			for px := 0; px < W; px++ {
+				_, _, _, in := tr.inside(float64(px)+0.5, cy)
+				inSpan := px >= lo && px <= hi
+				if in != inSpan {
+					t.Fatalf("trial %d row %d px %d: inside=%v span=[%d,%d]",
+						trial, py, px, in, lo, hi)
+				}
+			}
+		}
+		for px := 0; px < W; px++ {
+			lo, hi := tr.spanY(px, 0, H-1)
+			cx := float64(px) + 0.5
+			for py := 0; py < H; py++ {
+				_, _, _, in := tr.inside(cx, float64(py)+0.5)
+				inSpan := py >= lo && py <= hi
+				if in != inSpan {
+					t.Fatalf("trial %d col %d py %d: inside=%v span=[%d,%d]",
+						trial, px, py, in, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestSpanDegenerateRows covers rows entirely outside the triangle and
+// horizontal/vertical edges (the a == 0 / b == 0 branches).
+func TestSpanDegenerateRows(t *testing.T) {
+	// Axis-aligned right triangle: a horizontal bottom edge and a
+	// vertical left edge exercise the constant-predicate branches.
+	tr, ok := setup(vert(4, 4, 0, 0), vert(20, 4, 1, 0), vert(4, 20, 0, 1))
+	if !ok {
+		t.Fatal("setup failed")
+	}
+	if lo, hi := tr.spanX(0, 0, 31); lo <= hi {
+		t.Errorf("row above triangle has span [%d,%d]", lo, hi)
+	}
+	if lo, hi := tr.spanX(30, 0, 31); lo <= hi {
+		t.Errorf("row below triangle has span [%d,%d]", lo, hi)
+	}
+	lo, hi := tr.spanX(10, 0, 31)
+	if lo > hi || lo < 4 || hi > 14 {
+		t.Errorf("interior row span [%d,%d] implausible", lo, hi)
+	}
+	if lo, hi := tr.spanY(2, 0, 31); lo <= hi {
+		t.Errorf("column left of triangle has span [%d,%d]", lo, hi)
+	}
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+func ev(texID, level, tu, tv, ru, rv int, kind texture.AccessKind) texture.AccessEvent {
+	return texture.AccessEvent{TexID: texID, Level: level, TU: tu, TV: tv,
+		RawU: ru, RawV: rv, Kind: kind}
+}
+
+func TestAccessesPerTexel(t *testing.T) {
+	l := NewLocality()
+	// Texel (0,0) accessed 4 times, texel (1,0) accessed 2 times: 3 per texel.
+	for i := 0; i < 4; i++ {
+		l.Record(ev(0, 0, 0, 0, 0, 0, texture.AccessTrilinearLower))
+	}
+	for i := 0; i < 2; i++ {
+		l.Record(ev(0, 0, 1, 0, 1, 0, texture.AccessTrilinearLower))
+	}
+	if got := l.AccessesPerTexel(texture.AccessTrilinearLower); got != 3 {
+		t.Errorf("accesses/texel = %v, want 3", got)
+	}
+	if got := l.AccessesPerTexel(texture.AccessBilinear); got != 0 {
+		t.Errorf("empty category = %v, want 0", got)
+	}
+	if l.TotalAccesses() != 6 {
+		t.Errorf("total = %d", l.TotalAccesses())
+	}
+}
+
+func TestKindsAreSeparate(t *testing.T) {
+	l := NewLocality()
+	l.Record(ev(0, 0, 0, 0, 0, 0, texture.AccessTrilinearLower))
+	l.Record(ev(0, 1, 0, 0, 0, 0, texture.AccessTrilinearUpper))
+	l.Record(ev(0, 1, 0, 0, 0, 0, texture.AccessTrilinearUpper))
+	if l.Accesses(texture.AccessTrilinearLower) != 1 ||
+		l.Accesses(texture.AccessTrilinearUpper) != 2 {
+		t.Error("per-kind access counts wrong")
+	}
+	if got := l.AccessesPerTexel(texture.AccessTrilinearUpper); got != 2 {
+		t.Errorf("upper accesses/texel = %v", got)
+	}
+}
+
+func TestRepetitionFactor(t *testing.T) {
+	l := NewLocality()
+	// The same wrapped texel reached from three distinct pre-wrap
+	// positions: repetition 3.
+	l.Record(ev(0, 0, 5, 5, 5, 5, texture.AccessBilinear))
+	l.Record(ev(0, 0, 5, 5, 5+16, 5, texture.AccessBilinear))
+	l.Record(ev(0, 0, 5, 5, 5, 5+16, texture.AccessBilinear))
+	if got := l.RepetitionFactor(); got != 3 {
+		t.Errorf("repetition = %v, want 3", got)
+	}
+	// Without wrapping, factor is 1.
+	l2 := NewLocality()
+	l2.Record(ev(0, 0, 1, 1, 1, 1, texture.AccessBilinear))
+	l2.Record(ev(0, 0, 2, 1, 2, 1, texture.AccessBilinear))
+	if got := l2.RepetitionFactor(); got != 1 {
+		t.Errorf("repetition = %v, want 1", got)
+	}
+}
+
+func TestRepetitionHandlesNegativeRawCoords(t *testing.T) {
+	l := NewLocality()
+	l.Record(ev(0, 0, 15, 15, -1, -1, texture.AccessBilinear))
+	l.Record(ev(0, 0, 15, 15, 15, 15, texture.AccessBilinear))
+	if got := l.RepetitionFactor(); got != 2 {
+		t.Errorf("repetition with negative raw = %v, want 2", got)
+	}
+}
+
+func TestRunlength(t *testing.T) {
+	l := NewLocality()
+	// Texture 0 x3, texture 1 x2, texture 0 x1: three runs, 6 accesses.
+	seq := []int{0, 0, 0, 1, 1, 0}
+	for _, id := range seq {
+		l.Record(ev(id, 0, 0, 0, 0, 0, texture.AccessBilinear))
+	}
+	if l.Runs() != 3 {
+		t.Errorf("runs = %d, want 3", l.Runs())
+	}
+	if got := l.AverageRunlength(); got != 2 {
+		t.Errorf("avg runlength = %v, want 2", got)
+	}
+	empty := NewLocality()
+	if empty.AverageRunlength() != 0 {
+		t.Error("empty runlength should be 0")
+	}
+}
+
+func TestUniqueTexelsAcrossTexturesAndLevels(t *testing.T) {
+	l := NewLocality()
+	l.Record(ev(0, 0, 3, 3, 3, 3, texture.AccessTrilinearLower))
+	l.Record(ev(0, 1, 3, 3, 3, 3, texture.AccessTrilinearUpper)) // other level
+	l.Record(ev(1, 0, 3, 3, 3, 3, texture.AccessTrilinearLower)) // other texture
+	l.Record(ev(0, 0, 3, 3, 3, 3, texture.AccessTrilinearLower)) // repeat
+	if got := l.UniqueTexels(); got != 3 {
+		t.Errorf("unique texels = %d, want 3", got)
+	}
+	if got := l.TextureUsedBytes(); got != 3*texture.TexelBytes {
+		t.Errorf("texture used = %d", got)
+	}
+}
+
+func TestTexelKeyInjective(t *testing.T) {
+	seen := map[uint64][4]int{}
+	for _, tex := range []int{0, 1, 63} {
+		for _, level := range []int{0, 5, 11} {
+			for x := -2; x < 40; x += 7 {
+				for y := -2; y < 40; y += 7 {
+					k := texelKey(tex, level, x, y)
+					if prev, ok := seen[k]; ok {
+						t.Fatalf("collision: %v and %v -> %d", prev, [4]int{tex, level, x, y}, k)
+					}
+					seen[k] = [4]int{tex, level, x, y}
+				}
+			}
+		}
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	l := NewLocality()
+	l.Record(ev(0, 0, 0, 0, 0, 0, texture.AccessTrilinearLower))
+	s := l.Summary()
+	for _, want := range []string{"accesses/texel", "repetition", "runlength", "unique texels"} {
+		if !contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

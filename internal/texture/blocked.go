@@ -1,0 +1,135 @@
+package texture
+
+// blocked implements the blocked (tiled) texture representation of
+// Section 5.3 and its two conflict-avoiding refinements from Section 6.2:
+// padding (unused pad blocks at the end of each block row) and 6D blocking
+// (a second, coarser blocking level sized to the cache).
+//
+// Texels within a bw x bh block are consecutive in memory; blocks are
+// row-major within their enclosing region (the level, or the super-block
+// for the 6D variant). When a pyramid level is smaller than the block, the
+// block shrinks to the level size, so the coarse 1x1..4x4 levels stay
+// dense.
+type blocked struct {
+	base      uint64
+	size      uint64
+	name      string
+	cost      AddrCost
+	padBlocks int
+	levels    []blkLevel
+}
+
+type blkLevel struct {
+	base uint64
+	w, h int // level dimensions in texels
+	// Effective block dims for this level (clamped to level dims).
+	logBW, logBH uint
+	// Block grid stride: texel offset from one block row to the next,
+	// including pad blocks.
+	rowStrideTexels uint64
+	// Super-block geometry (6D). logSW/logSH are the effective
+	// super-block dims; superRowStrideTexels advances one super-block
+	// row. sixD is false for plain/padded blocking.
+	sixD              bool
+	logSW, logSH      uint
+	superTexels       uint64
+	superPerRow       uint64
+	blocksPerSuperRow uint64
+}
+
+// newBlocked builds the representation. padBlocks > 0 selects padding;
+// superBytes > 0 selects 6D blocking. The two are mutually exclusive by
+// construction in NewLayout.
+func newBlocked(dims []LevelDims, arena *Arena, blockW, padBlocks, superBytes int) *blocked {
+	b := &blocked{padBlocks: padBlocks}
+	switch {
+	case padBlocks > 0:
+		b.name = "padded"
+		// Base rep is 2 adds + 1 level-dependent shift; blocking adds two
+		// additions (5.3.1) and padding one more (6.2).
+		b.cost = AddrCost{Adds: 5, Shifts: 1}
+	case superBytes > 0:
+		b.name = "6d"
+		b.cost = AddrCost{Adds: 6, Shifts: 1}
+	default:
+		b.name = "blocked"
+		b.cost = AddrCost{Adds: 4, Shifts: 1}
+	}
+
+	var end uint64
+	b.levels = make([]blkLevel, len(dims))
+	for i, d := range dims {
+		lv := blkLevel{w: d.W, h: d.H}
+		ebw, ebh := min(blockW, d.W), min(blockW, d.H)
+		lv.logBW, lv.logBH = Log2(ebw), Log2(ebh)
+		blocksX := uint64(d.W / ebw)
+		blockTexels := uint64(ebw * ebh)
+
+		var levelTexels uint64
+		if superBytes > 0 {
+			// Square-ish super-block: the largest power-of-two square (in
+			// texels) that fits in superBytes, clamped to the level and no
+			// smaller than one block.
+			s := 1
+			for (s*2)*(s*2)*TexelBytes <= superBytes {
+				s *= 2
+			}
+			esw, esh := min(s, d.W), min(s, d.H)
+			esw, esh = max(esw, ebw), max(esh, ebh)
+			lv.sixD = true
+			lv.logSW, lv.logSH = Log2(esw), Log2(esh)
+			lv.superTexels = uint64(esw * esh)
+			lv.superPerRow = uint64(d.W / esw)
+			lv.blocksPerSuperRow = uint64(esw / ebw)
+			levelTexels = lv.superTexels * lv.superPerRow * uint64(d.H/esh)
+		} else {
+			lv.rowStrideTexels = (blocksX + uint64(padBlocks)) * blockTexels
+			levelTexels = lv.rowStrideTexels * uint64(d.H/ebh)
+		}
+
+		lb := arena.Alloc(levelTexels*TexelBytes, TexelBytes)
+		lv.base = lb
+		if i == 0 {
+			b.base = lb
+		}
+		b.levels[i] = lv
+		end = lb + levelTexels*TexelBytes
+	}
+	b.size = end - b.base
+	return b
+}
+
+func (b *blocked) Addresses(level, tu, tv int, buf []uint64) []uint64 {
+	lv := &b.levels[level]
+	bw := 1 << lv.logBW
+	bh := 1 << lv.logBH
+	sx := uint64(tu & (bw - 1))
+	sy := uint64(tv & (bh - 1))
+	bx := uint64(tu) >> lv.logBW
+	by := uint64(tv) >> lv.logBH
+
+	var texelOff uint64
+	if lv.sixD {
+		// Decompose the block coordinates into (super-block, block within
+		// super-block).
+		sbx := uint64(tu) >> lv.logSW
+		sby := uint64(tv) >> lv.logSH
+		ibx := bx & (lv.blocksPerSuperRow - 1)
+		iby := by & ((1 << (lv.logSH - lv.logBH)) - 1)
+		superIdx := sby*lv.superPerRow + sbx
+		blockIdx := iby*lv.blocksPerSuperRow + ibx
+		texelOff = superIdx*lv.superTexels + blockIdx<<(lv.logBW+lv.logBH)
+	} else {
+		texelOff = by*lv.rowStrideTexels + bx<<(lv.logBW+lv.logBH)
+	}
+	texelOff += sy<<lv.logBW + sx
+	return append(buf, lv.base+texelOff*TexelBytes)
+}
+
+func (b *blocked) levelWidth(l int) int  { return b.levels[l].w }
+func (b *blocked) levelHeight(l int) int { return b.levels[l].h }
+
+func (b *blocked) SizeBytes() uint64 { return b.size }
+func (b *blocked) Base() uint64      { return b.base }
+func (b *blocked) Name() string      { return b.name }
+func (b *blocked) Cost() AddrCost    { return b.cost }

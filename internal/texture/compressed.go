@@ -1,0 +1,50 @@
+package texture
+
+// compressedBlocked models "rendering from compressed textures" (Beers,
+// Agrawala & Chaddha, SIGGRAPH'96), the future-work direction the paper's
+// conclusion proposes studying against cache architectures. Texture
+// blocks are stored compressed in memory at a fixed ratio (block
+// truncation coding style: e.g. 4:1, one byte per texel); the cache line
+// fill decompresses, so a line of compressed memory covers ratio-times
+// more texels. The layout is the blocked representation with the texel
+// footprint shrunk by the ratio.
+//
+// Compressed texels must stay byte-addressable, so only power-of-two
+// ratios up to 4 (one byte per texel) are supported.
+type compressedBlocked struct {
+	inner     *blocked
+	base      uint64
+	ratio     int
+	sizeShift uint // log2(ratio)
+}
+
+func newCompressedBlocked(dims []LevelDims, arena *Arena, blockW, ratio int) *compressedBlocked {
+	// Build the uncompressed blocked geometry in a shadow arena, then
+	// scale every offset down by the ratio against the real base.
+	inner := newBlocked(dims, NewArena(), blockW, 0, 0)
+	c := &compressedBlocked{
+		inner:     inner,
+		ratio:     ratio,
+		sizeShift: Log2(ratio),
+	}
+	c.base = arena.Alloc(inner.SizeBytes()>>c.sizeShift, TexelBytes)
+	return c
+}
+
+func (c *compressedBlocked) Addresses(level, tu, tv int, buf []uint64) []uint64 {
+	buf = c.inner.Addresses(level, tu, tv, buf)
+	last := &buf[len(buf)-1]
+	*last = c.base + (*last-c.inner.Base())>>c.sizeShift
+	return buf
+}
+
+func (c *compressedBlocked) SizeBytes() uint64 { return c.inner.SizeBytes() >> c.sizeShift }
+func (c *compressedBlocked) Base() uint64      { return c.base }
+func (c *compressedBlocked) Name() string      { return "compressed" }
+
+// Cost: blocked addressing plus one constant shift (free in hardware);
+// the decompression cost lives in the line-fill path, not in addressing.
+func (c *compressedBlocked) Cost() AddrCost { return c.inner.Cost() }
+
+// Ratio returns the fixed compression ratio.
+func (c *compressedBlocked) Ratio() int { return c.ratio }

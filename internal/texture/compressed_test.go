@@ -1,0 +1,90 @@
+package texture
+
+import "testing"
+
+func TestCompressedValidate(t *testing.T) {
+	good := LayoutSpec{Kind: CompressedKind, BlockW: 8, Ratio: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid compressed spec rejected: %v", err)
+	}
+	for _, ratio := range []int{0, 1, 3, 8} {
+		s := LayoutSpec{Kind: CompressedKind, BlockW: 8, Ratio: ratio}
+		if err := s.Validate(); err == nil {
+			t.Errorf("ratio %d accepted", ratio)
+		}
+	}
+}
+
+func TestCompressedFootprint(t *testing.T) {
+	dims := BuildMipMap(NewImage(64, 64)).Dims()
+	plain, err := NewLayout(LayoutSpec{Kind: BlockedKind, BlockW: 8}, dims, NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := NewLayout(LayoutSpec{Kind: CompressedKind, BlockW: 8, Ratio: 4}, dims, NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.SizeBytes() != plain.SizeBytes()/4 {
+		t.Errorf("compressed footprint %d, want %d", comp.SizeBytes(), plain.SizeBytes()/4)
+	}
+	if comp.Name() != "compressed" {
+		t.Errorf("name = %q", comp.Name())
+	}
+}
+
+func TestCompressedAddressesInBoundsAndDistinct(t *testing.T) {
+	dims := BuildMipMap(NewImage(32, 32)).Dims()
+	for _, ratio := range []int{2, 4} {
+		arena := NewArena()
+		arena.Alloc(1000, 4) // nonzero base
+		l, err := NewLayout(LayoutSpec{Kind: CompressedKind, BlockW: 4, Ratio: ratio}, dims, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]bool{}
+		for level, d := range dims {
+			for tv := 0; tv < d.H; tv++ {
+				for tu := 0; tu < d.W; tu++ {
+					a := l.Addresses(level, tu, tv, nil)[0]
+					if a < l.Base() || a >= l.Base()+l.SizeBytes() {
+						t.Fatalf("ratio %d: address %d outside [%d,%d)", ratio, a, l.Base(), l.Base()+l.SizeBytes())
+					}
+					if ratio == 4 {
+						// At 4:1 every texel is one byte: addresses are
+						// distinct.
+						if seen[a] {
+							t.Fatalf("ratio 4: address %d repeated", a)
+						}
+						seen[a] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompressedPreservesBlockStructure(t *testing.T) {
+	// Texels of one block stay contiguous in compressed memory.
+	dims := []LevelDims{{32, 32}}
+	l, err := NewLayout(LayoutSpec{Kind: CompressedKind, BlockW: 4, Ratio: 4}, dims, NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi uint64 = ^uint64(0), 0
+	for sy := 0; sy < 4; sy++ {
+		for sx := 0; sx < 4; sx++ {
+			a := l.Addresses(0, 8+sx, 4+sy, nil)[0]
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+	}
+	// 16 texels at 1 byte each: a 16-byte contiguous run.
+	if hi-lo != 15 {
+		t.Errorf("compressed block spans %d bytes, want 16", hi-lo+1)
+	}
+}

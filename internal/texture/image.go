@@ -1,0 +1,68 @@
+// Package texture implements the texture subsystem of the study: RGBA8
+// texture images, Mip Map pyramid construction (Williams' pyramidal
+// parametrics), the five memory representations whose cache behavior the
+// paper analyzes (Williams component-separated, base nonblocked, blocked,
+// padded blocked, and 6D blocked), a linear memory arena standing in for
+// malloc(), and an OpenGL 1.0 style sampler performing bilinear and
+// trilinear interpolation while emitting every texel address to the cache
+// simulator.
+package texture
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TexelBytes is the storage footprint of one texel. The paper allocates
+// 32 bits per texel (RGBA8).
+const TexelBytes = 4
+
+// Texel is one RGBA8 texture pixel.
+type Texel struct {
+	R, G, B, A uint8
+}
+
+// Image is a 2D texture image with power-of-two dimensions, stored
+// row-major. This is the logical image; where its texels live in simulated
+// memory is the business of a Layout.
+type Image struct {
+	W, H int
+	Pix  []Texel
+}
+
+// NewImage returns a w x h image. Both dimensions must be positive powers
+// of two, matching the OpenGL restriction the paper notes.
+func NewImage(w, h int) *Image {
+	if !IsPow2(w) || !IsPow2(h) {
+		panic(fmt.Sprintf("texture: dimensions %dx%d are not powers of two", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]Texel, w*h)}
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && bits.OnesCount(uint(n)) == 1 }
+
+// Log2 returns log2(n) for a power of two n.
+func Log2(n int) uint { return uint(bits.TrailingZeros(uint(n))) }
+
+// At returns the texel at (x, y). Coordinates must be in bounds.
+func (im *Image) At(x, y int) Texel { return im.Pix[y*im.W+x] }
+
+// Set stores t at (x, y). Coordinates must be in bounds.
+func (im *Image) Set(x, y int, t Texel) { im.Pix[y*im.W+x] = t }
+
+// AtWrap returns the texel at (x, y) with REPEAT wrapping, the mode used
+// throughout the study (Town and Goblet repeat their textures).
+func (im *Image) AtWrap(x, y int) Texel {
+	return im.Pix[(y&(im.H-1))*im.W+(x&(im.W-1))]
+}
+
+// SizeBytes returns the unpadded storage footprint of the image.
+func (im *Image) SizeBytes() int { return im.W * im.H * TexelBytes }
+
+// Fill sets every texel to t.
+func (im *Image) Fill(t Texel) {
+	for i := range im.Pix {
+		im.Pix[i] = t
+	}
+}

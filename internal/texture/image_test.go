@@ -1,0 +1,76 @@
+package texture
+
+import "testing"
+
+func TestNewImagePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two dims")
+		}
+	}()
+	NewImage(3, 4)
+}
+
+func TestImageSetAt(t *testing.T) {
+	im := NewImage(4, 2)
+	want := Texel{1, 2, 3, 4}
+	im.Set(3, 1, want)
+	if got := im.At(3, 1); got != want {
+		t.Errorf("At = %v, want %v", got, want)
+	}
+	if got := im.At(0, 0); got != (Texel{}) {
+		t.Errorf("unset texel = %v, want zero", got)
+	}
+}
+
+func TestImageAtWrap(t *testing.T) {
+	im := NewImage(4, 4)
+	want := Texel{9, 9, 9, 9}
+	im.Set(1, 2, want)
+	cases := [][2]int{{1, 2}, {5, 6}, {-3, -2}, {1 + 40, 2 - 40}}
+	for _, c := range cases {
+		if got := im.AtWrap(c[0], c[1]); got != want {
+			t.Errorf("AtWrap(%d,%d) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestImageSizeBytes(t *testing.T) {
+	im := NewImage(8, 4)
+	if got := im.SizeBytes(); got != 8*4*TexelBytes {
+		t.Errorf("SizeBytes = %d", got)
+	}
+}
+
+func TestImageFill(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Fill(Texel{5, 6, 7, 8})
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			if im.At(x, y) != (Texel{5, 6, 7, 8}) {
+				t.Fatalf("Fill missed (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024, 1 << 20} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := uint(0); i < 20; i++ {
+		if got := Log2(1 << i); got != i {
+			t.Errorf("Log2(1<<%d) = %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package texture
+
+import "fmt"
+
+// Layout maps texel coordinates to simulated memory addresses. A Layout
+// instance is bound to one texture's pyramid geometry and base address.
+//
+// All layouts except Williams produce exactly one address per texel; the
+// Williams component-separated representation produces three (one per
+// color plane), which is one of the caching problems Section 5.1 raises.
+type Layout interface {
+	// Addresses appends the byte address(es) read for texel (tu, tv) of
+	// the given level to buf and returns the extended slice. Coordinates
+	// must already be wrapped into the level's bounds.
+	Addresses(level, tu, tv int, buf []uint64) []uint64
+
+	// SizeBytes returns the total memory the representation occupies,
+	// including any padding.
+	SizeBytes() uint64
+
+	// Base returns the starting address of the representation.
+	Base() uint64
+
+	// Cost returns the per-texel addressing cost in integer operations,
+	// for the Table 2.1 accounting.
+	Cost() AddrCost
+
+	// Name identifies the representation in experiment output.
+	Name() string
+}
+
+// AddrCost counts the integer operations of one texel address calculation.
+// Only variable-operand work is charged, following Section 5.3.1's
+// observation that constant shifts are free in hardware (they are wires).
+type AddrCost struct {
+	Adds   int // additions with variable operands
+	Shifts int // shifts by level-dependent amounts
+	Ands   int // bit-field extractions
+}
+
+// Total returns the total operation count.
+func (c AddrCost) Total() int { return c.Adds + c.Shifts + c.Ands }
+
+// LayoutKind selects a texture representation; it is the experiment-level
+// switch between the memory organizations of Sections 5 and 6.
+type LayoutKind int
+
+const (
+	// NonBlockedKind is the base representation of Section 5.2: each
+	// level a row-major 2D array, RGBA stored contiguously.
+	NonBlockedKind LayoutKind = iota
+	// BlockedKind is the blocked (tiled) representation of Section 5.3:
+	// square texel blocks ordered consecutively in memory.
+	BlockedKind
+	// PaddedBlockedKind adds pad blocks at the end of each block row
+	// (Section 6.2, Figure 6.3a).
+	PaddedBlockedKind
+	// SixDBlockedKind adds a second, coarser level of blocking sized to
+	// the cache (Section 6.2, Figure 6.3b).
+	SixDBlockedKind
+	// WilliamsKind is the component-separated Mip Map organization of
+	// Williams' original paper (Section 5.1, Figure 5.1a).
+	WilliamsKind
+	// CompressedKind is the blocked representation over fixed-ratio
+	// compressed texture memory (the Section 8 future-work direction,
+	// after Beers et al.).
+	CompressedKind
+)
+
+// String returns the name used in experiment output.
+func (k LayoutKind) String() string {
+	switch k {
+	case NonBlockedKind:
+		return "nonblocked"
+	case BlockedKind:
+		return "blocked"
+	case PaddedBlockedKind:
+		return "padded"
+	case SixDBlockedKind:
+		return "6d"
+	case WilliamsKind:
+		return "williams"
+	case CompressedKind:
+		return "compressed"
+	default:
+		return fmt.Sprintf("LayoutKind(%d)", int(k))
+	}
+}
+
+// LayoutSpec carries the parameters needed to instantiate a layout for a
+// texture. The zero value means "nonblocked".
+type LayoutSpec struct {
+	Kind LayoutKind
+	// BlockW is the block dimension in texels (blocks are square, power
+	// of two). Used by the blocked family.
+	BlockW int
+	// PadBlocks is the number of unused pad blocks appended to each row
+	// of blocks (power of two). Used by PaddedBlockedKind.
+	PadBlocks int
+	// SuperBytes is the coarser block size in bytes for SixDBlockedKind,
+	// normally the cache size.
+	SuperBytes int
+	// Ratio is the fixed compression ratio for CompressedKind: 2 or 4.
+	Ratio int
+}
+
+// Validate reports whether the spec's parameters are usable.
+func (s LayoutSpec) Validate() error {
+	switch s.Kind {
+	case NonBlockedKind, WilliamsKind:
+		return nil
+	case BlockedKind, PaddedBlockedKind, SixDBlockedKind, CompressedKind:
+		if !IsPow2(s.BlockW) {
+			return fmt.Errorf("texture: block width %d is not a power of two", s.BlockW)
+		}
+		if s.Kind == CompressedKind && s.Ratio != 2 && s.Ratio != 4 {
+			return fmt.Errorf("texture: compression ratio %d not in {2, 4}", s.Ratio)
+		}
+		if s.Kind == PaddedBlockedKind && !IsPow2(s.PadBlocks) {
+			return fmt.Errorf("texture: pad blocks %d is not a power of two", s.PadBlocks)
+		}
+		if s.Kind == SixDBlockedKind {
+			if !IsPow2(s.SuperBytes) {
+				return fmt.Errorf("texture: super-block bytes %d is not a power of two", s.SuperBytes)
+			}
+			if s.SuperBytes < s.BlockW*s.BlockW*TexelBytes {
+				return fmt.Errorf("texture: super-block %dB smaller than one %dx%d block",
+					s.SuperBytes, s.BlockW, s.BlockW)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("texture: unknown layout kind %d", int(s.Kind))
+	}
+}
+
+// NewLayout instantiates the layout described by spec for a pyramid with
+// the given level dimensions, allocating its memory from arena.
+func NewLayout(spec LayoutSpec, dims []LevelDims, arena *Arena) (Layout, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("texture: empty pyramid")
+	}
+	for _, d := range dims {
+		if !IsPow2(d.W) || !IsPow2(d.H) {
+			return nil, fmt.Errorf("texture: level dims %dx%d not powers of two", d.W, d.H)
+		}
+	}
+	switch spec.Kind {
+	case NonBlockedKind:
+		return newNonBlocked(dims, arena), nil
+	case BlockedKind:
+		return newBlocked(dims, arena, spec.BlockW, 0, 0), nil
+	case PaddedBlockedKind:
+		return newBlocked(dims, arena, spec.BlockW, spec.PadBlocks, 0), nil
+	case SixDBlockedKind:
+		return newBlocked(dims, arena, spec.BlockW, 0, spec.SuperBytes), nil
+	case WilliamsKind:
+		return newWilliams(dims, arena), nil
+	case CompressedKind:
+		return newCompressedBlocked(dims, arena, spec.BlockW, spec.Ratio), nil
+	}
+	panic("unreachable")
+}
+
+// Arena is a bump allocator standing in for the malloc() calls the paper
+// uses to place textures in memory: textures are laid out consecutively in
+// a single simulated address space, in allocation order.
+type Arena struct {
+	next uint64
+}
+
+// NewArena returns an arena whose first allocation is at address 0.
+func NewArena() *Arena { return &Arena{} }
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the base address.
+func (a *Arena) Alloc(size, align uint64) uint64 {
+	if align == 0 || align&(align-1) != 0 {
+		panic("texture: alignment must be a power of two")
+	}
+	base := (a.next + align - 1) &^ (align - 1)
+	a.next = base + size
+	return base
+}
+
+// Used returns the total bytes allocated so far, including alignment gaps.
+func (a *Arena) Used() uint64 { return a.next }

@@ -1,0 +1,395 @@
+package texture
+
+import (
+	"testing"
+)
+
+// allSpecs returns one spec of every kind with typical paper parameters.
+func allSpecs() []LayoutSpec {
+	return []LayoutSpec{
+		{Kind: NonBlockedKind},
+		{Kind: BlockedKind, BlockW: 4},
+		{Kind: BlockedKind, BlockW: 8},
+		{Kind: PaddedBlockedKind, BlockW: 8, PadBlocks: 4},
+		{Kind: SixDBlockedKind, BlockW: 8, SuperBytes: 32 << 10},
+		{Kind: WilliamsKind},
+	}
+}
+
+func TestLayoutSpecValidate(t *testing.T) {
+	for _, s := range allSpecs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+	bad := []LayoutSpec{
+		{Kind: BlockedKind, BlockW: 3},
+		{Kind: BlockedKind, BlockW: 0},
+		{Kind: PaddedBlockedKind, BlockW: 8, PadBlocks: 3},
+		{Kind: SixDBlockedKind, BlockW: 8, SuperBytes: 100},
+		{Kind: SixDBlockedKind, BlockW: 8, SuperBytes: 64}, // smaller than one block
+		{Kind: LayoutKind(99)},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v: expected error", s)
+		}
+	}
+}
+
+func TestLayoutKindString(t *testing.T) {
+	want := map[LayoutKind]string{
+		NonBlockedKind:    "nonblocked",
+		BlockedKind:       "blocked",
+		PaddedBlockedKind: "padded",
+		SixDBlockedKind:   "6d",
+		WilliamsKind:      "williams",
+	}
+	for k, w := range want {
+		if got := k.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, w)
+		}
+	}
+}
+
+// TestLayoutBijective checks the core correctness property of every
+// representation: distinct texels map to distinct, in-bounds, non-
+// overlapping 4-byte words (1-byte words per component for Williams).
+func TestLayoutBijective(t *testing.T) {
+	dims := BuildMipMap(NewImage(32, 16)).Dims()
+	for _, spec := range allSpecs() {
+		arena := NewArena()
+		base := arena.Alloc(128, 4) // offset the layout so Base() matters
+		_ = base
+		l, err := NewLayout(spec, dims, arena)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		seen := make(map[uint64]string)
+		var buf []uint64
+		for level, d := range dims {
+			for tv := 0; tv < d.H; tv++ {
+				for tu := 0; tu < d.W; tu++ {
+					buf = l.Addresses(level, tu, tv, buf[:0])
+					wantAddrs := 1
+					if spec.Kind == WilliamsKind {
+						wantAddrs = 3
+					}
+					if len(buf) != wantAddrs {
+						t.Fatalf("%s: %d addresses per texel, want %d", l.Name(), len(buf), wantAddrs)
+					}
+					for ci, a := range buf {
+						if a < l.Base() || a >= l.Base()+l.SizeBytes() {
+							t.Fatalf("%s: address %d outside [%d, %d)", l.Name(), a, l.Base(), l.Base()+l.SizeBytes())
+						}
+						key := a
+						if prev, dup := seen[key]; dup {
+							t.Fatalf("%s: texel L%d(%d,%d)c%d collides with %s at %d",
+								l.Name(), level, tu, tv, ci, prev, a)
+						}
+						seen[key] = levelKey(level, tu, tv, ci)
+					}
+				}
+			}
+		}
+	}
+}
+
+func levelKey(l, u, v, c int) string {
+	return string(rune('A'+l)) + ":" + itoa(u) + "," + itoa(v) + "#" + itoa(c)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestBlockedContiguity checks that the texels of one block occupy one
+// contiguous run of memory — the property that lets a block share a cache
+// line (Section 5.3.3: "texels that lie within a block are guaranteed not
+// to conflict in the cache since they are stored consecutively").
+func TestBlockedContiguity(t *testing.T) {
+	dims := []LevelDims{{32, 32}}
+	for _, spec := range []LayoutSpec{
+		{Kind: BlockedKind, BlockW: 4},
+		{Kind: PaddedBlockedKind, BlockW: 4, PadBlocks: 4},
+		{Kind: SixDBlockedKind, BlockW: 4, SuperBytes: 1 << 10},
+	} {
+		l, err := NewLayout(spec, dims, NewArena())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for by := 0; by < 8; by++ {
+			for bx := 0; bx < 8; bx++ {
+				var lo, hi uint64 = ^uint64(0), 0
+				for sy := 0; sy < 4; sy++ {
+					for sx := 0; sx < 4; sx++ {
+						a := l.Addresses(0, bx*4+sx, by*4+sy, nil)[0]
+						if a < lo {
+							lo = a
+						}
+						if a > hi {
+							hi = a
+						}
+					}
+				}
+				if hi-lo != (16-1)*TexelBytes {
+					t.Fatalf("%s: block (%d,%d) spans [%d,%d], not contiguous",
+						l.Name(), bx, by, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedMatchesPaperFormula verifies the blocked addressing against a
+// literal transcription of the paper's Section 5.3.1 formulas.
+func TestBlockedMatchesPaperFormula(t *testing.T) {
+	const W, H, bw = 64, 32, 8
+	dims := []LevelDims{{W, H}}
+	arena := NewArena()
+	l, err := NewLayout(LayoutSpec{Kind: BlockedKind, BlockW: bw}, dims, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbw := Log2(bw)
+	bs := Log2(bw * bw)
+	rs := Log2(W * bw) // log2(width in texels * bh)
+	base := l.Base()
+	for tv := 0; tv < H; tv++ {
+		for tu := 0; tu < W; tu++ {
+			bx := uint64(tu) >> lbw
+			by := uint64(tv) >> lbw
+			blockAddr := base + ((by<<rs)+(bx<<bs))*TexelBytes
+			sx := uint64(tu & (bw - 1))
+			sy := uint64(tv & (bw - 1))
+			want := blockAddr + ((sy<<lbw)+sx)*TexelBytes
+			if got := l.Addresses(0, tu, tv, nil)[0]; got != want {
+				t.Fatalf("(%d,%d): got %d, want %d", tu, tv, got, want)
+			}
+		}
+	}
+}
+
+// TestPaddedStride verifies the Section 6.2 padding formula: the padded
+// address equals the plain blocked address plus by << ps.
+func TestPaddedStride(t *testing.T) {
+	const W, H, bw, pad = 64, 64, 8, 4
+	dims := []LevelDims{{W, H}}
+	plain, err := NewLayout(LayoutSpec{Kind: BlockedKind, BlockW: bw}, dims, NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := NewLayout(LayoutSpec{Kind: PaddedBlockedKind, BlockW: bw, PadBlocks: pad}, dims, NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := Log2(bw * bw * pad)
+	for tv := 0; tv < H; tv += 3 {
+		for tu := 0; tu < W; tu += 5 {
+			by := uint64(tv) / bw
+			p := plain.Addresses(0, tu, tv, nil)[0] - plain.Base()
+			q := padded.Addresses(0, tu, tv, nil)[0] - padded.Base()
+			if q != p+(by<<ps)*TexelBytes {
+				t.Fatalf("(%d,%d): padded %d != plain %d + %d", tu, tv, q, p, (by<<ps)*TexelBytes)
+			}
+		}
+	}
+	if padded.SizeBytes() <= plain.SizeBytes() {
+		t.Error("padding should increase footprint")
+	}
+}
+
+// TestSixDSuperBlockResidency verifies that an entire cache-size-aligned
+// super-block region of texels occupies one contiguous cache-size run, so
+// a square region of blocks maps into the cache without conflicts.
+func TestSixDSuperBlockResidency(t *testing.T) {
+	const W, H, bw = 256, 256, 8
+	const cacheSize = 16 << 10 // 16KB -> 64x64 texel super-block
+	dims := []LevelDims{{W, H}}
+	l, err := NewLayout(LayoutSpec{Kind: SixDBlockedKind, BlockW: bw, SuperBytes: cacheSize}, dims, NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const super = 64 // sqrt(16KB / 4B)
+	for _, origin := range [][2]int{{0, 0}, {64, 0}, {0, 64}, {128, 192}} {
+		var lo, hi uint64 = ^uint64(0), 0
+		for sy := 0; sy < super; sy++ {
+			for sx := 0; sx < super; sx++ {
+				a := l.Addresses(0, origin[0]+sx, origin[1]+sy, nil)[0]
+				if a < lo {
+					lo = a
+				}
+				if a > hi {
+					hi = a
+				}
+			}
+		}
+		if hi-lo != cacheSize-TexelBytes {
+			t.Fatalf("super-block at %v spans %d bytes, want %d", origin, hi-lo+TexelBytes, cacheSize)
+		}
+		if lo%cacheSize != l.Base()%cacheSize {
+			t.Fatalf("super-block at %v starts at %d, not super-aligned", origin, lo)
+		}
+	}
+}
+
+// TestWilliamsPowerOfTwoStrides checks the pathology Section 5.1
+// identifies: component addresses of one texel are separated by powers of
+// two bytes.
+func TestWilliamsPowerOfTwoStrides(t *testing.T) {
+	dims := BuildMipMap(NewImage(64, 64)).Dims()
+	l, err := NewLayout(LayoutSpec{Kind: WilliamsKind}, dims, NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level, d := range dims {
+		a := l.Addresses(level, d.W/2, d.H/2, nil)
+		if len(a) != 3 {
+			t.Fatalf("level %d: %d component addresses", level, len(a))
+		}
+		d1, d2 := a[1]-a[0], a[2]-a[1]
+		if d1 != d2 {
+			t.Errorf("level %d: uneven component strides %d, %d", level, d1, d2)
+		}
+		if d1&(d1-1) != 0 {
+			t.Errorf("level %d: component stride %d not a power of two", level, d1)
+		}
+	}
+}
+
+// TestLayoutBijectiveRandomDims re-runs the bijectivity property on
+// randomized pyramid geometries (non-square, tiny, tall) for every kind,
+// complementing the fixed-size exhaustive check above.
+func TestLayoutBijectiveRandomDims(t *testing.T) {
+	pow2 := []int{1, 2, 4, 8, 16, 32, 64}
+	rng := newTestRand(0xD1E5)
+	for trial := 0; trial < 25; trial++ {
+		w := pow2[rng.next()%uint64(len(pow2))]
+		h := pow2[rng.next()%uint64(len(pow2))]
+		dims := BuildMipMap(NewImage(w, h)).Dims()
+		for _, spec := range allSpecs() {
+			l, err := NewLayout(spec, dims, NewArena())
+			if err != nil {
+				t.Fatalf("%dx%d %v: %v", w, h, spec, err)
+			}
+			seen := make(map[uint64]bool)
+			var buf []uint64
+			for level, d := range dims {
+				for tv := 0; tv < d.H; tv++ {
+					for tu := 0; tu < d.W; tu++ {
+						buf = l.Addresses(level, tu, tv, buf[:0])
+						for _, a := range buf {
+							if a < l.Base() || a >= l.Base()+l.SizeBytes() {
+								t.Fatalf("%dx%d %s: address %d out of bounds", w, h, l.Name(), a)
+							}
+							if seen[a] {
+								t.Fatalf("%dx%d %s: address %d duplicated", w, h, l.Name(), a)
+							}
+							seen[a] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// newTestRand is a tiny deterministic xorshift for the randomized-dims
+// property test.
+type testRand struct{ s uint64 }
+
+func newTestRand(seed uint64) *testRand { return &testRand{s: seed} }
+
+func (r *testRand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func TestArenaAlloc(t *testing.T) {
+	a := NewArena()
+	p0 := a.Alloc(10, 4)
+	if p0 != 0 {
+		t.Errorf("first alloc at %d, want 0", p0)
+	}
+	p1 := a.Alloc(4, 8)
+	if p1 != 16 { // 10 rounded up to 16
+		t.Errorf("aligned alloc at %d, want 16", p1)
+	}
+	if a.Used() != 20 {
+		t.Errorf("Used = %d, want 20", a.Used())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bad alignment")
+		}
+	}()
+	a.Alloc(1, 3)
+}
+
+func TestLayoutCosts(t *testing.T) {
+	dims := []LevelDims{{8, 8}}
+	costs := map[LayoutKind]int{}
+	for _, spec := range allSpecs() {
+		l, err := NewLayout(spec, dims, NewArena())
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[spec.Kind] = l.Cost().Total()
+	}
+	// The paper's cost ordering: nonblocked < blocked < padded < 6D.
+	if !(costs[NonBlockedKind] < costs[BlockedKind] &&
+		costs[BlockedKind] < costs[PaddedBlockedKind] &&
+		costs[PaddedBlockedKind] < costs[SixDBlockedKind]) {
+		t.Errorf("cost ordering violated: %v", costs)
+	}
+	// Blocked costs exactly two more additions than nonblocked (5.3.1).
+	nb, _ := NewLayout(LayoutSpec{Kind: NonBlockedKind}, dims, NewArena())
+	bl, _ := NewLayout(LayoutSpec{Kind: BlockedKind, BlockW: 4}, dims, NewArena())
+	if bl.Cost().Adds != nb.Cost().Adds+2 {
+		t.Errorf("blocked adds = %d, want nonblocked+2 = %d", bl.Cost().Adds, nb.Cost().Adds+2)
+	}
+}
+
+func TestNewLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(LayoutSpec{Kind: BlockedKind, BlockW: 3}, []LevelDims{{4, 4}}, NewArena()); err == nil {
+		t.Error("expected spec error")
+	}
+	if _, err := NewLayout(LayoutSpec{}, nil, NewArena()); err == nil {
+		t.Error("expected empty pyramid error")
+	}
+	if _, err := NewLayout(LayoutSpec{}, []LevelDims{{3, 4}}, NewArena()); err == nil {
+		t.Error("expected bad dims error")
+	}
+}
+
+// TestSmallLevelsDense: pyramid levels smaller than the block shrink the
+// block rather than padding the level, for every blocked variant.
+func TestSmallLevelsDense(t *testing.T) {
+	dims := BuildMipMap(NewImage(16, 16)).Dims() // down to 1x1
+	for _, spec := range []LayoutSpec{
+		{Kind: BlockedKind, BlockW: 8},
+		{Kind: SixDBlockedKind, BlockW: 8, SuperBytes: 4 << 10},
+	} {
+		l, err := NewLayout(spec, dims, NewArena())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The 1x1 level must produce a valid address.
+		a := l.Addresses(len(dims)-1, 0, 0, nil)
+		if len(a) != 1 || a[0] >= l.Base()+l.SizeBytes() {
+			t.Errorf("%s: bad 1x1 level address %v", l.Name(), a)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package texture
+
+// Locator is the inverse of a Layout: it maps a byte address back to the
+// texel (and component) that lives there. All five representations
+// implement it; trace-inspection tools use it to annotate raw address
+// streams, and the tests use it to prove each layout is a bijection.
+type Locator interface {
+	// Locate returns the texel whose storage contains the byte address.
+	// comp is the color-plane index for the Williams representation
+	// (always 0 elsewhere). ok is false for addresses outside the
+	// texture (padding, pad blocks, or other textures' memory).
+	Locate(addr uint64) (level, tu, tv, comp int, ok bool)
+}
+
+// Locate on the base nonblocked representation inverts
+// addr = base_l + ((tv << logW) + tu) * TexelBytes.
+func (nb *nonBlocked) Locate(addr uint64) (level, tu, tv, comp int, ok bool) {
+	for l := len(nb.levels) - 1; l >= 0; l-- {
+		lv := &nb.levels[l]
+		if addr < lv.base {
+			continue
+		}
+		off := (addr - lv.base) / TexelBytes
+		tu = int(off & uint64(lv.w-1))
+		tv = int(off >> lv.logW)
+		if tv >= lv.h {
+			return 0, 0, 0, 0, false
+		}
+		return l, tu, tv, 0, true
+	}
+	return 0, 0, 0, 0, false
+}
+
+// Locate on the blocked family inverts the block decomposition,
+// reporting false inside pad blocks.
+func (b *blocked) Locate(addr uint64) (level, tu, tv, comp int, ok bool) {
+	for l := len(b.levels) - 1; l >= 0; l-- {
+		lv := &b.levels[l]
+		if addr < lv.base {
+			continue
+		}
+		off := (addr - lv.base) / TexelBytes
+		bw := uint64(1) << lv.logBW
+		bh := uint64(1) << lv.logBH
+		blockTexels := bw * bh
+
+		var bx, by uint64
+		if lv.sixD {
+			superIdx := off / lv.superTexels
+			inSuper := off % lv.superTexels
+			blockIdx := inSuper >> (lv.logBW + lv.logBH)
+			sbx := superIdx % lv.superPerRow
+			sby := superIdx / lv.superPerRow
+			ibx := blockIdx % lv.blocksPerSuperRow
+			iby := blockIdx / lv.blocksPerSuperRow
+			bx = sbx*lv.blocksPerSuperRow + ibx
+			by = sby<<(lv.logSH-lv.logBH) + iby
+		} else {
+			by = off / lv.rowStrideTexels
+			inRow := off % lv.rowStrideTexels
+			bx = inRow / blockTexels
+			if int(bx)*int(bw) >= b.levelWidth(l) {
+				return 0, 0, 0, 0, false // pad block
+			}
+		}
+		inBlock := off % blockTexels
+		sx := inBlock & (bw - 1)
+		sy := inBlock >> lv.logBW
+		tu = int(bx*bw + sx)
+		tv = int(by*bh + sy)
+		if tu >= b.levelWidth(l) || tv >= b.levelHeight(l) {
+			return 0, 0, 0, 0, false
+		}
+		return l, tu, tv, 0, true
+	}
+	return 0, 0, 0, 0, false
+}
+
+// Locate on the Williams representation identifies the component plane
+// first, then inverts the row-major indexing.
+func (w *williams) Locate(addr uint64) (level, tu, tv, comp int, ok bool) {
+	for l := len(w.levels) - 1; l >= 0; l-- {
+		lv := &w.levels[l]
+		if addr < lv.base {
+			continue
+		}
+		off := addr - lv.base
+		comp = int(off / lv.compStride)
+		if comp > 2 {
+			return 0, 0, 0, 0, false
+		}
+		off %= lv.compStride
+		tu = int(off & ((1 << lv.logW) - 1))
+		tv = int(off >> lv.logW)
+		if tv >= lv.h {
+			return 0, 0, 0, 0, false // plane padding
+		}
+		return l, tu, tv, comp, true
+	}
+	return 0, 0, 0, 0, false
+}
+
+// Locate on the compressed representation scales back to the shadow
+// blocked geometry.
+func (c *compressedBlocked) Locate(addr uint64) (level, tu, tv, comp int, ok bool) {
+	if addr < c.base || addr >= c.base+c.SizeBytes() {
+		return 0, 0, 0, 0, false
+	}
+	inner := c.inner.Base() + (addr-c.base)<<c.sizeShift
+	return c.inner.Locate(inner)
+}

@@ -1,0 +1,85 @@
+package texture
+
+import "testing"
+
+// TestLocateRoundTrip proves Addresses and Locate are inverse on every
+// representation: for each texel, locating each of its addresses
+// recovers the texel (and, for Williams, the component).
+func TestLocateRoundTrip(t *testing.T) {
+	dims := BuildMipMap(NewImage(32, 16)).Dims()
+	specs := append(allSpecs(), LayoutSpec{Kind: CompressedKind, BlockW: 4, Ratio: 4})
+	for _, spec := range specs {
+		arena := NewArena()
+		arena.Alloc(4096, 4) // offset the texture in memory
+		l, err := NewLayout(spec, dims, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc, ok := l.(Locator)
+		if !ok {
+			t.Fatalf("%s does not implement Locator", l.Name())
+		}
+		for level, d := range dims {
+			for tv := 0; tv < d.H; tv++ {
+				for tu := 0; tu < d.W; tu++ {
+					for ci, a := range l.Addresses(level, tu, tv, nil) {
+						gl, gu, gv, gc, ok := loc.Locate(a)
+						if !ok {
+							t.Fatalf("%s: L%d(%d,%d) addr %d not located", l.Name(), level, tu, tv, a)
+						}
+						if gl != level || gu != tu || gv != tv || gc != ci {
+							t.Fatalf("%s: L%d(%d,%d)#%d located as L%d(%d,%d)#%d",
+								l.Name(), level, tu, tv, ci, gl, gu, gv, gc)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLocateRejectsOutside checks addresses before the texture, in pad
+// blocks, and past the end are reported as unmapped.
+func TestLocateRejectsOutside(t *testing.T) {
+	dims := []LevelDims{{64, 64}}
+	arena := NewArena()
+	arena.Alloc(512, 4)
+	l, err := NewLayout(LayoutSpec{Kind: PaddedBlockedKind, BlockW: 8, PadBlocks: 4}, dims, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := l.(Locator)
+	if _, _, _, _, ok := loc.Locate(0); ok {
+		t.Error("address before the texture located")
+	}
+	if _, _, _, _, ok := loc.Locate(l.Base() + l.SizeBytes() + 128); ok {
+		t.Error("address after the texture located")
+	}
+	// A pad block sits right after the 8 data blocks of block-row 0:
+	// texel offset 8 blocks * 64 texels.
+	padAddr := l.Base() + 8*64*TexelBytes
+	if _, _, _, _, ok := loc.Locate(padAddr); ok {
+		t.Error("pad-block address located as a texel")
+	}
+	// Every real texel still resolves.
+	a := l.Addresses(0, 63, 63, nil)[0]
+	if _, tu, tv, _, ok := loc.Locate(a); !ok || tu != 63 || tv != 63 {
+		t.Error("corner texel failed to locate")
+	}
+}
+
+func TestLocateWilliamsComponents(t *testing.T) {
+	dims := []LevelDims{{16, 16}}
+	l, err := NewLayout(LayoutSpec{Kind: WilliamsKind}, dims, NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := l.(Locator)
+	addrs := l.Addresses(0, 5, 9, nil)
+	for want, a := range addrs {
+		_, tu, tv, comp, ok := loc.Locate(a)
+		if !ok || tu != 5 || tv != 9 || comp != want {
+			t.Errorf("component %d at %d located as (%d,%d)#%d ok=%v", want, a, tu, tv, comp, ok)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package texture
+
+// MipMap is an image pyramid: Levels[0] is the original texture image and
+// each subsequent level is a 2x2 box-filtered, down-sampled version of the
+// previous one, ending at 1x1 (Section 2, Figure 2.2 of the paper).
+type MipMap struct {
+	Levels []*Image
+}
+
+// BuildMipMap constructs the full pyramid from a base image by repeated
+// 2x2 box filtering. Non-square images halve each dimension independently,
+// clamping at 1.
+func BuildMipMap(base *Image) *MipMap {
+	m := &MipMap{Levels: []*Image{base}}
+	cur := base
+	for cur.W > 1 || cur.H > 1 {
+		nw, nh := max(1, cur.W/2), max(1, cur.H/2)
+		next := NewImage(nw, nh)
+		for y := 0; y < nh; y++ {
+			for x := 0; x < nw; x++ {
+				next.Set(x, y, boxFilter(cur, x, y))
+			}
+		}
+		m.Levels = append(m.Levels, next)
+		cur = next
+	}
+	return m
+}
+
+// boxFilter averages the up-to-2x2 source footprint of destination texel
+// (x, y). When a dimension has already collapsed to 1, the footprint
+// degenerates to 2x1, 1x2 or 1x1.
+func boxFilter(src *Image, x, y int) Texel {
+	x0, y0 := x*2, y*2
+	x1, y1 := min(x0+1, src.W-1), min(y0+1, src.H-1)
+	var r, g, b, a int
+	n := 0
+	for _, p := range [4][2]int{{x0, y0}, {x1, y0}, {x0, y1}, {x1, y1}} {
+		t := src.At(p[0], p[1])
+		r += int(t.R)
+		g += int(t.G)
+		b += int(t.B)
+		a += int(t.A)
+		n++
+	}
+	return Texel{uint8(r / n), uint8(g / n), uint8(b / n), uint8(a / n)}
+}
+
+// NumLevels returns the number of pyramid levels.
+func (m *MipMap) NumLevels() int { return len(m.Levels) }
+
+// MaxLevel returns the index of the coarsest (1x1) level.
+func (m *MipMap) MaxLevel() int { return len(m.Levels) - 1 }
+
+// Level returns level l, clamped to the valid range.
+func (m *MipMap) Level(l int) *Image {
+	if l < 0 {
+		l = 0
+	}
+	if l > m.MaxLevel() {
+		l = m.MaxLevel()
+	}
+	return m.Levels[l]
+}
+
+// TexelCount returns the total number of texels across all levels.
+func (m *MipMap) TexelCount() int {
+	n := 0
+	for _, im := range m.Levels {
+		n += im.W * im.H
+	}
+	return n
+}
+
+// SizeBytes returns the unpadded footprint of the whole pyramid; roughly
+// 4/3 the base image size for square textures.
+func (m *MipMap) SizeBytes() int { return m.TexelCount() * TexelBytes }
+
+// Dims returns the per-level dimensions, used by layouts to compute
+// addresses without holding the pixel data.
+func (m *MipMap) Dims() []LevelDims {
+	d := make([]LevelDims, len(m.Levels))
+	for i, im := range m.Levels {
+		d[i] = LevelDims{W: im.W, H: im.H}
+	}
+	return d
+}
+
+// LevelDims records the texel dimensions of one pyramid level.
+type LevelDims struct {
+	W, H int
+}

@@ -1,0 +1,103 @@
+package texture
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMipMapLevelCount(t *testing.T) {
+	m := BuildMipMap(NewImage(16, 16))
+	if m.NumLevels() != 5 { // 16, 8, 4, 2, 1
+		t.Errorf("NumLevels = %d, want 5", m.NumLevels())
+	}
+	if m.MaxLevel() != 4 {
+		t.Errorf("MaxLevel = %d", m.MaxLevel())
+	}
+	for i, im := range m.Levels {
+		want := 16 >> i
+		if im.W != want || im.H != want {
+			t.Errorf("level %d is %dx%d, want %dx%d", i, im.W, im.H, want, want)
+		}
+	}
+}
+
+func TestMipMapNonSquare(t *testing.T) {
+	m := BuildMipMap(NewImage(8, 2))
+	dims := m.Dims()
+	want := []LevelDims{{8, 2}, {4, 1}, {2, 1}, {1, 1}}
+	if len(dims) != len(want) {
+		t.Fatalf("dims = %v", dims)
+	}
+	for i := range want {
+		if dims[i] != want[i] {
+			t.Errorf("level %d dims = %v, want %v", i, dims[i], want[i])
+		}
+	}
+}
+
+func TestMipMapPreservesMean(t *testing.T) {
+	// Property: box filtering preserves the image mean (within rounding).
+	base := Noise(64, 64, 123)
+	m := BuildMipMap(base)
+	mean := func(im *Image) float64 {
+		s := 0.0
+		for _, p := range im.Pix {
+			s += float64(p.R)
+		}
+		return s / float64(len(im.Pix))
+	}
+	m0 := mean(m.Levels[0])
+	for l := 1; l < m.NumLevels(); l++ {
+		ml := mean(m.Levels[l])
+		if math.Abs(ml-m0) > float64(l) { // each level adds <=0.75 rounding bias
+			t.Errorf("level %d mean %v drifted from base %v", l, ml, m0)
+		}
+	}
+}
+
+func TestMipMapConstantImageStaysConstant(t *testing.T) {
+	base := NewImage(32, 32)
+	base.Fill(Texel{100, 150, 200, 255})
+	m := BuildMipMap(base)
+	for l, im := range m.Levels {
+		for _, p := range im.Pix {
+			if p != (Texel{100, 150, 200, 255}) {
+				t.Fatalf("level %d has texel %v", l, p)
+			}
+		}
+	}
+}
+
+func TestMipMapTexelCountAndSize(t *testing.T) {
+	m := BuildMipMap(NewImage(8, 8))
+	want := 64 + 16 + 4 + 1 // 8x8 + 4x4 + 2x2 + 1x1
+	if got := m.TexelCount(); got != want {
+		t.Errorf("TexelCount = %d, want %d", got, want)
+	}
+	if got := m.SizeBytes(); got != want*TexelBytes {
+		t.Errorf("SizeBytes = %d", got)
+	}
+}
+
+func TestMipMapLevelClamps(t *testing.T) {
+	m := BuildMipMap(NewImage(4, 4))
+	if m.Level(-5) != m.Levels[0] {
+		t.Error("negative level should clamp to 0")
+	}
+	if m.Level(99) != m.Levels[m.MaxLevel()] {
+		t.Error("overflow level should clamp to max")
+	}
+}
+
+func TestBoxFilterAveragesQuad(t *testing.T) {
+	base := NewImage(2, 2)
+	base.Set(0, 0, Texel{0, 0, 0, 0})
+	base.Set(1, 0, Texel{40, 0, 0, 0})
+	base.Set(0, 1, Texel{80, 0, 0, 0})
+	base.Set(1, 1, Texel{120, 0, 0, 0})
+	m := BuildMipMap(base)
+	got := m.Levels[1].At(0, 0)
+	if got.R != 60 {
+		t.Errorf("box filter = %d, want 60", got.R)
+	}
+}

@@ -1,0 +1,48 @@
+package texture
+
+// nonBlocked is the base representation of Section 5.2: each Mip Map level
+// is an independent row-major 2D array with the R, G, B and A components
+// of a texel stored contiguously in one 32-bit word. Levels are allocated
+// consecutively, finest first.
+//
+// Texel address = base + ((tv << lw) + tu) * TexelBytes
+type nonBlocked struct {
+	base   uint64
+	size   uint64
+	levels []nbLevel
+}
+
+type nbLevel struct {
+	base uint64
+	logW uint
+	w, h int
+}
+
+func newNonBlocked(dims []LevelDims, arena *Arena) *nonBlocked {
+	nb := &nonBlocked{levels: make([]nbLevel, len(dims))}
+	var total uint64
+	for i, d := range dims {
+		sz := uint64(d.W*d.H) * TexelBytes
+		lb := arena.Alloc(sz, TexelBytes)
+		if i == 0 {
+			nb.base = lb
+		}
+		nb.levels[i] = nbLevel{base: lb, logW: Log2(d.W), w: d.W, h: d.H}
+		total = lb + sz - nb.base
+	}
+	nb.size = total
+	return nb
+}
+
+func (nb *nonBlocked) Addresses(level, tu, tv int, buf []uint64) []uint64 {
+	l := &nb.levels[level]
+	return append(buf, l.base+uint64((tv<<l.logW)+tu)*TexelBytes)
+}
+
+func (nb *nonBlocked) SizeBytes() uint64 { return nb.size }
+func (nb *nonBlocked) Base() uint64      { return nb.base }
+func (nb *nonBlocked) Name() string      { return "nonblocked" }
+
+// Cost: one variable shift (by lw, a function of the level) and two adds
+// (base + row + column), per Section 5.2.1.
+func (nb *nonBlocked) Cost() AddrCost { return AddrCost{Adds: 2, Shifts: 1} }

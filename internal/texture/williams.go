@@ -1,0 +1,64 @@
+package texture
+
+// williams models the Mip Map organization from Williams' original paper
+// (Section 5.1, Figure 5.1a): each level's red, green and blue components
+// are stored as separate 2D planes. Because the plane sizes are powers of
+// two, the three component addresses of one texel are separated by powers
+// of two bytes — exactly the property that makes them collide in a cache —
+// and fetching one texel costs three separate accesses.
+//
+// Each component plane stores one byte per texel, padded to a power-of-two
+// size so the inter-component stride is a power of two as in the original
+// quadrant scheme.
+type williams struct {
+	base   uint64
+	size   uint64
+	levels []wLevel
+}
+
+type wLevel struct {
+	base       uint64
+	logW       uint
+	h          int    // level height in texels
+	compStride uint64 // byte distance between a texel's R, G and B planes
+}
+
+func newWilliams(dims []LevelDims, arena *Arena) *williams {
+	w := &williams{levels: make([]wLevel, len(dims))}
+	var end uint64
+	for i, d := range dims {
+		plane := uint64(d.W * d.H) // one byte per texel per component
+		// Pad the plane to a power of two so component strides are powers
+		// of two, as in the original memory organization.
+		stride := uint64(1)
+		for stride < plane {
+			stride <<= 1
+		}
+		lb := arena.Alloc(3*stride, TexelBytes)
+		if i == 0 {
+			w.base = lb
+		}
+		w.levels[i] = wLevel{base: lb, logW: Log2(d.W), h: d.H, compStride: stride}
+		end = lb + 3*stride
+	}
+	w.size = end - w.base
+	return w
+}
+
+func (w *williams) Addresses(level, tu, tv int, buf []uint64) []uint64 {
+	l := &w.levels[level]
+	off := uint64(tv<<l.logW + tu)
+	return append(buf,
+		l.base+off,
+		l.base+l.compStride+off,
+		l.base+2*l.compStride+off,
+	)
+}
+
+func (w *williams) SizeBytes() uint64 { return w.size }
+func (w *williams) Base() uint64      { return w.base }
+func (w *williams) Name() string      { return "williams" }
+
+// Cost: the quadrant addressing itself is cheap (binary operations), but
+// it must be performed for three component planes.
+func (w *williams) Cost() AddrCost { return AddrCost{Adds: 6, Shifts: 3} }

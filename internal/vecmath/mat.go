@@ -1,0 +1,233 @@
+package vecmath
+
+import "math"
+
+// Mat4 is a 4x4 matrix in row-major storage: M[row][col]. Points transform
+// as column vectors, M * v.
+type Mat4 [4][4]float64
+
+// Identity returns the 4x4 identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	}
+}
+
+// Mul returns the matrix product m * n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			s := 0.0
+			for k := 0; k < 4; k++ {
+				s += m[i][k] * n[k][j]
+			}
+			r[i][j] = s
+		}
+	}
+	return r
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m Mat4) MulVec(v Vec4) Vec4 {
+	return Vec4{
+		m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z + m[0][3]*v.W,
+		m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z + m[1][3]*v.W,
+		m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z + m[2][3]*v.W,
+		m[3][0]*v.X + m[3][1]*v.Y + m[3][2]*v.Z + m[3][3]*v.W,
+	}
+}
+
+// TransformPoint applies m to the point p (W=1) and performs the
+// perspective divide.
+func (m Mat4) TransformPoint(p Vec3) Vec3 {
+	return m.MulVec(Point4(p)).PerspectiveDivide()
+}
+
+// TransformDir applies m to the direction d (W=0) without translation.
+func (m Mat4) TransformDir(d Vec3) Vec3 {
+	return m.MulVec(Dir4(d)).XYZ()
+}
+
+// Transpose returns the transpose of m.
+func (m Mat4) Transpose() Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// Translate returns a translation matrix by t.
+func Translate(t Vec3) Mat4 {
+	m := Identity()
+	m[0][3] = t.X
+	m[1][3] = t.Y
+	m[2][3] = t.Z
+	return m
+}
+
+// Scale returns a non-uniform scaling matrix by s.
+func Scale(s Vec3) Mat4 {
+	m := Identity()
+	m[0][0] = s.X
+	m[1][1] = s.Y
+	m[2][2] = s.Z
+	return m
+}
+
+// RotateX returns a rotation about the X axis by angle radians.
+func RotateX(angle float64) Mat4 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	m := Identity()
+	m[1][1], m[1][2] = c, -s
+	m[2][1], m[2][2] = s, c
+	return m
+}
+
+// RotateY returns a rotation about the Y axis by angle radians.
+func RotateY(angle float64) Mat4 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	m := Identity()
+	m[0][0], m[0][2] = c, s
+	m[2][0], m[2][2] = -s, c
+	return m
+}
+
+// RotateZ returns a rotation about the Z axis by angle radians.
+func RotateZ(angle float64) Mat4 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	m := Identity()
+	m[0][0], m[0][1] = c, -s
+	m[1][0], m[1][1] = s, c
+	return m
+}
+
+// RotateAxis returns a rotation of angle radians about an arbitrary unit
+// axis (Rodrigues' formula).
+func RotateAxis(axis Vec3, angle float64) Mat4 {
+	a := axis.Normalize()
+	c, s := math.Cos(angle), math.Sin(angle)
+	ic := 1 - c
+	return Mat4{
+		{c + a.X*a.X*ic, a.X*a.Y*ic - a.Z*s, a.X*a.Z*ic + a.Y*s, 0},
+		{a.Y*a.X*ic + a.Z*s, c + a.Y*a.Y*ic, a.Y*a.Z*ic - a.X*s, 0},
+		{a.Z*a.X*ic - a.Y*s, a.Z*a.Y*ic + a.X*s, c + a.Z*a.Z*ic, 0},
+		{0, 0, 0, 1},
+	}
+}
+
+// LookAt returns a right-handed view matrix placing the camera at eye,
+// looking toward center, with the given up direction.
+func LookAt(eye, center, up Vec3) Mat4 {
+	f := center.Sub(eye).Normalize()
+	s := f.Cross(up.Normalize()).Normalize()
+	u := s.Cross(f)
+	view := Mat4{
+		{s.X, s.Y, s.Z, 0},
+		{u.X, u.Y, u.Z, 0},
+		{-f.X, -f.Y, -f.Z, 0},
+		{0, 0, 0, 1},
+	}
+	return view.Mul(Translate(Vec3{-eye.X, -eye.Y, -eye.Z}))
+}
+
+// Perspective returns an OpenGL-style perspective projection matrix.
+// fovy is the vertical field of view in radians, aspect is width/height,
+// and near/far are the positive distances to the clip planes.
+func Perspective(fovy, aspect, near, far float64) Mat4 {
+	f := 1 / math.Tan(fovy/2)
+	var m Mat4
+	m[0][0] = f / aspect
+	m[1][1] = f
+	m[2][2] = (far + near) / (near - far)
+	m[2][3] = 2 * far * near / (near - far)
+	m[3][2] = -1
+	return m
+}
+
+// Ortho returns an orthographic projection matrix mapping the box
+// [l,r]x[b,t]x[-n,-f] to the canonical [-1,1] cube.
+func Ortho(l, r, b, t, n, f float64) Mat4 {
+	var m Mat4
+	m[0][0] = 2 / (r - l)
+	m[1][1] = 2 / (t - b)
+	m[2][2] = -2 / (f - n)
+	m[0][3] = -(r + l) / (r - l)
+	m[1][3] = -(t + b) / (t - b)
+	m[2][3] = -(f + n) / (f - n)
+	m[3][3] = 1
+	return m
+}
+
+// Det returns the determinant of m.
+func (m Mat4) Det() float64 {
+	// Expansion by 2x2 cofactors of the first two rows (Laplace on rows 0,1).
+	s0 := m[0][0]*m[1][1] - m[0][1]*m[1][0]
+	s1 := m[0][0]*m[1][2] - m[0][2]*m[1][0]
+	s2 := m[0][0]*m[1][3] - m[0][3]*m[1][0]
+	s3 := m[0][1]*m[1][2] - m[0][2]*m[1][1]
+	s4 := m[0][1]*m[1][3] - m[0][3]*m[1][1]
+	s5 := m[0][2]*m[1][3] - m[0][3]*m[1][2]
+
+	c5 := m[2][2]*m[3][3] - m[2][3]*m[3][2]
+	c4 := m[2][1]*m[3][3] - m[2][3]*m[3][1]
+	c3 := m[2][1]*m[3][2] - m[2][2]*m[3][1]
+	c2 := m[2][0]*m[3][3] - m[2][3]*m[3][0]
+	c1 := m[2][0]*m[3][2] - m[2][2]*m[3][0]
+	c0 := m[2][0]*m[3][1] - m[2][1]*m[3][0]
+
+	return s0*c5 - s1*c4 + s2*c3 + s3*c2 - s4*c1 + s5*c0
+}
+
+// Inverse returns the inverse of m and whether it exists. Singular
+// matrices return the identity and false.
+func (m Mat4) Inverse() (Mat4, bool) {
+	s0 := m[0][0]*m[1][1] - m[0][1]*m[1][0]
+	s1 := m[0][0]*m[1][2] - m[0][2]*m[1][0]
+	s2 := m[0][0]*m[1][3] - m[0][3]*m[1][0]
+	s3 := m[0][1]*m[1][2] - m[0][2]*m[1][1]
+	s4 := m[0][1]*m[1][3] - m[0][3]*m[1][1]
+	s5 := m[0][2]*m[1][3] - m[0][3]*m[1][2]
+
+	c5 := m[2][2]*m[3][3] - m[2][3]*m[3][2]
+	c4 := m[2][1]*m[3][3] - m[2][3]*m[3][1]
+	c3 := m[2][1]*m[3][2] - m[2][2]*m[3][1]
+	c2 := m[2][0]*m[3][3] - m[2][3]*m[3][0]
+	c1 := m[2][0]*m[3][2] - m[2][2]*m[3][0]
+	c0 := m[2][0]*m[3][1] - m[2][1]*m[3][0]
+
+	det := s0*c5 - s1*c4 + s2*c3 + s3*c2 - s4*c1 + s5*c0
+	if det == 0 {
+		return Identity(), false
+	}
+	inv := 1 / det
+
+	var r Mat4
+	r[0][0] = (m[1][1]*c5 - m[1][2]*c4 + m[1][3]*c3) * inv
+	r[0][1] = (-m[0][1]*c5 + m[0][2]*c4 - m[0][3]*c3) * inv
+	r[0][2] = (m[3][1]*s5 - m[3][2]*s4 + m[3][3]*s3) * inv
+	r[0][3] = (-m[2][1]*s5 + m[2][2]*s4 - m[2][3]*s3) * inv
+
+	r[1][0] = (-m[1][0]*c5 + m[1][2]*c2 - m[1][3]*c1) * inv
+	r[1][1] = (m[0][0]*c5 - m[0][2]*c2 + m[0][3]*c1) * inv
+	r[1][2] = (-m[3][0]*s5 + m[3][2]*s2 - m[3][3]*s1) * inv
+	r[1][3] = (m[2][0]*s5 - m[2][2]*s2 + m[2][3]*s1) * inv
+
+	r[2][0] = (m[1][0]*c4 - m[1][1]*c2 + m[1][3]*c0) * inv
+	r[2][1] = (-m[0][0]*c4 + m[0][1]*c2 - m[0][3]*c0) * inv
+	r[2][2] = (m[3][0]*s4 - m[3][1]*s2 + m[3][3]*s0) * inv
+	r[2][3] = (-m[2][0]*s4 + m[2][1]*s2 - m[2][3]*s0) * inv
+
+	r[3][0] = (-m[1][0]*c3 + m[1][1]*c1 - m[1][2]*c0) * inv
+	r[3][1] = (m[0][0]*c3 - m[0][1]*c1 + m[0][2]*c0) * inv
+	r[3][2] = (-m[3][0]*s3 + m[3][1]*s1 - m[3][2]*s0) * inv
+	r[3][3] = (m[2][0]*s3 - m[2][1]*s1 + m[2][2]*s0) * inv
+
+	return r, true
+}

@@ -1,0 +1,177 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mat4AlmostEq(a, b Mat4) bool {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if !almostEq(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestIdentityMul(t *testing.T) {
+	id := Identity()
+	m := Translate(Vec3{1, 2, 3}).Mul(RotateY(0.7))
+	if !mat4AlmostEq(id.Mul(m), m) || !mat4AlmostEq(m.Mul(id), m) {
+		t.Error("identity should be multiplicative unit")
+	}
+}
+
+func TestTranslatePoint(t *testing.T) {
+	m := Translate(Vec3{1, 2, 3})
+	got := m.TransformPoint(Vec3{10, 20, 30})
+	if got != (Vec3{11, 22, 33}) {
+		t.Errorf("TransformPoint = %v", got)
+	}
+	// Directions ignore translation.
+	d := m.TransformDir(Vec3{1, 0, 0})
+	if d != (Vec3{1, 0, 0}) {
+		t.Errorf("TransformDir = %v", d)
+	}
+}
+
+func TestRotationsPreserveLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		angle := rng.Float64() * 2 * math.Pi
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		for _, m := range []Mat4{RotateX(angle), RotateY(angle), RotateZ(angle),
+			RotateAxis(Vec3{1, 1, 1}, angle)} {
+			got := m.TransformDir(v)
+			if !almostEq(got.Len(), v.Len()) {
+				t.Fatalf("rotation changed length: %v -> %v", v.Len(), got.Len())
+			}
+		}
+	}
+}
+
+func TestRotateZQuarterTurn(t *testing.T) {
+	m := RotateZ(math.Pi / 2)
+	got := m.TransformDir(Vec3{1, 0, 0})
+	if !vec3AlmostEq(got, Vec3{0, 1, 0}) {
+		t.Errorf("RotateZ(90deg) x = %v, want y", got)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		m := Translate(Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}).
+			Mul(RotateAxis(Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64() + 2}, rng.Float64())).
+			Mul(Scale(Vec3{1 + rng.Float64(), 1 + rng.Float64(), 1 + rng.Float64()}))
+		inv, ok := m.Inverse()
+		if !ok {
+			t.Fatal("invertible matrix reported singular")
+		}
+		if !mat4AlmostEq(m.Mul(inv), Identity()) {
+			t.Fatalf("m * m^-1 != I for %v", m)
+		}
+	}
+}
+
+func TestSingularInverse(t *testing.T) {
+	m := Scale(Vec3{1, 0, 1}) // rank deficient
+	if _, ok := m.Inverse(); ok {
+		t.Error("singular matrix reported invertible")
+	}
+}
+
+func TestDetProperties(t *testing.T) {
+	if d := Identity().Det(); d != 1 {
+		t.Errorf("det(I) = %v", d)
+	}
+	if d := Scale(Vec3{2, 3, 4}).Det(); !almostEq(d, 24) {
+		t.Errorf("det(scale) = %v, want 24", d)
+	}
+	// Rotations have determinant 1.
+	if d := RotateAxis(Vec3{1, 2, 3}, 1.1).Det(); !almostEq(d, 1) {
+		t.Errorf("det(rot) = %v, want 1", d)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		m := Translate(Vec3{a, b, c}).Mul(RotateY(d))
+		return mat4AlmostEq(m.Transpose().Transpose(), m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookAtEyeMapsToOrigin(t *testing.T) {
+	eye := Vec3{3, 4, 5}
+	m := LookAt(eye, Vec3{0, 0, 0}, Vec3{0, 1, 0})
+	got := m.TransformPoint(eye)
+	if !vec3AlmostEq(got, Vec3{}) {
+		t.Errorf("LookAt eye -> %v, want origin", got)
+	}
+	// Center should land on the negative Z axis at distance |eye|.
+	c := m.TransformPoint(Vec3{0, 0, 0})
+	if !almostEq(c.X, 0) || !almostEq(c.Y, 0) || c.Z >= 0 {
+		t.Errorf("LookAt center -> %v, want on -Z axis", c)
+	}
+	if !almostEq(-c.Z, eye.Len()) {
+		t.Errorf("center depth = %v, want %v", -c.Z, eye.Len())
+	}
+}
+
+func TestPerspectiveMapsNearFar(t *testing.T) {
+	near, far := 0.5, 100.0
+	p := Perspective(math.Pi/2, 1, near, far)
+	// Point on the near plane straight ahead maps to NDC z = -1.
+	n := p.MulVec(Point4(Vec3{0, 0, -near})).PerspectiveDivide()
+	if !almostEq(n.Z, -1) {
+		t.Errorf("near plane z = %v, want -1", n.Z)
+	}
+	f := p.MulVec(Point4(Vec3{0, 0, -far})).PerspectiveDivide()
+	if !almostEq(f.Z, 1) {
+		t.Errorf("far plane z = %v, want 1", f.Z)
+	}
+	// A point at 45 degrees off-axis on the near plane hits the NDC edge.
+	e := p.MulVec(Point4(Vec3{near, 0, -near})).PerspectiveDivide()
+	if !almostEq(e.X, 1) {
+		t.Errorf("edge x = %v, want 1", e.X)
+	}
+}
+
+func TestOrthoMapsBox(t *testing.T) {
+	m := Ortho(-2, 2, -1, 1, 0, 10)
+	lo := m.TransformPoint(Vec3{-2, -1, 0})
+	hi := m.TransformPoint(Vec3{2, 1, -10})
+	if !vec3AlmostEq(lo, Vec3{-1, -1, -1}) {
+		t.Errorf("ortho lo = %v", lo)
+	}
+	if !vec3AlmostEq(hi, Vec3{1, 1, 1}) {
+		t.Errorf("ortho hi = %v", hi)
+	}
+}
+
+func TestMulVecLinearity(t *testing.T) {
+	m := Perspective(1, 1.5, 1, 50).Mul(LookAt(Vec3{1, 2, 3}, Vec3{}, Vec3{0, 1, 0}))
+	shrink := func(x float64) float64 { return math.Remainder(x, 1e3) }
+	f := func(ax, ay, az, bx, by, bz, s float64) bool {
+		ax, ay, az = shrink(ax), shrink(ay), shrink(az)
+		bx, by, bz, s = shrink(bx), shrink(by), shrink(bz), shrink(s)
+		a := Vec4{ax, ay, az, 1}
+		b := Vec4{bx, by, bz, 0}
+		lhs := m.MulVec(a.Add(b.Scale(s)))
+		rhs := m.MulVec(a).Add(m.MulVec(b).Scale(s))
+		d := lhs.Sub(rhs)
+		mag := 1 + math.Abs(ax) + math.Abs(bx) + math.Abs(s)*100
+		return math.Abs(d.X)+math.Abs(d.Y)+math.Abs(d.Z)+math.Abs(d.W) < 1e-6*mag*mag
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package vecmath provides the small linear-algebra kernel used by the
+// graphics pipeline: 2-, 3- and 4-component float64 vectors and 4x4
+// matrices with the projective transforms needed for 3D rendering.
+//
+// The package is deliberately minimal and allocation-free: every type is a
+// plain value and every operation returns a new value, so vectors and
+// matrices can be composed without aliasing concerns.
+package vecmath
+
+import "math"
+
+// Vec2 is a 2-component vector, used for texture coordinates and screen
+// positions.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns s*v.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Len returns the Euclidean length of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Lerp returns v + t*(w-v), the linear interpolation between v and w.
+func (v Vec2) Lerp(w Vec2, t float64) Vec2 {
+	return Vec2{v.X + t*(w.X-v.X), v.Y + t*(w.Y-v.Y)}
+}
+
+// Vec3 is a 3-component vector, used for positions, normals and colors.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product of v and w.
+func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp returns v + t*(w-v).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{v.X + t*(w.X-v.X), v.Y + t*(w.Y-v.Y), v.Z + t*(w.Z-v.Z)}
+}
+
+// Vec4 is a 4-component homogeneous vector.
+type Vec4 struct {
+	X, Y, Z, W float64
+}
+
+// Add returns v + w.
+func (v Vec4) Add(w Vec4) Vec4 { return Vec4{v.X + w.X, v.Y + w.Y, v.Z + w.Z, v.W + w.W} }
+
+// Sub returns v - w.
+func (v Vec4) Sub(w Vec4) Vec4 { return Vec4{v.X - w.X, v.Y - w.Y, v.Z - w.Z, v.W - w.W} }
+
+// Scale returns s*v.
+func (v Vec4) Scale(s float64) Vec4 { return Vec4{v.X * s, v.Y * s, v.Z * s, v.W * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec4) Dot(w Vec4) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z + v.W*w.W }
+
+// Lerp returns v + t*(w-v).
+func (v Vec4) Lerp(w Vec4, t float64) Vec4 {
+	return Vec4{v.X + t*(w.X-v.X), v.Y + t*(w.Y-v.Y), v.Z + t*(w.Z-v.Z), v.W + t*(w.W-v.W)}
+}
+
+// XYZ returns the first three components as a Vec3, discarding W.
+func (v Vec4) XYZ() Vec3 { return Vec3{v.X, v.Y, v.Z} }
+
+// PerspectiveDivide returns the projection of v onto the W=1 hyperplane.
+// It panics if W is zero; callers clip against the near plane first.
+func (v Vec4) PerspectiveDivide() Vec3 {
+	if v.W == 0 {
+		panic("vecmath: perspective divide by zero W")
+	}
+	inv := 1 / v.W
+	return Vec3{v.X * inv, v.Y * inv, v.Z * inv}
+}
+
+// Point4 promotes a 3D point to homogeneous coordinates with W=1.
+func Point4(p Vec3) Vec4 { return Vec4{p.X, p.Y, p.Z, 1} }
+
+// Dir4 promotes a 3D direction to homogeneous coordinates with W=0.
+func Dir4(d Vec3) Vec4 { return Vec4{d.X, d.Y, d.Z, 0} }
+
+// Clamp returns x limited to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

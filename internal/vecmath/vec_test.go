@@ -1,0 +1,138 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-7 }
+
+func vec3AlmostEq(a, b Vec3) bool {
+	return almostEq(a.X, b.X) && almostEq(a.Y, b.Y) && almostEq(a.Z, b.Z)
+}
+
+func TestVec2Basics(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{3, -4}
+	if got := a.Add(b); got != (Vec2{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := b.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != (Vec2{2, -1}) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-1, 0, 2}
+	if got := a.Add(b); got != (Vec3{0, 2, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{2, 2, 1}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != (Vec3{-1, 0, 6}) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Dot(b); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if got := a.Cross(b); got != (Vec3{0, 0, 1}) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	shrink := func(x float64) float64 { return math.Remainder(x, 1e3) }
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{shrink(ax), shrink(ay), shrink(az)}
+		b := Vec3{shrink(bx), shrink(by), shrink(bz)}
+		c := a.Cross(b)
+		tol := 1e-6 * (1 + a.Len()*b.Len()) * (1 + a.Len() + b.Len())
+		return math.Abs(c.Dot(a)) < tol && math.Abs(c.Dot(b)) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3NormalizeUnit(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := Vec3{x, y, z}
+		if v.Len() == 0 || math.IsInf(v.Len(), 0) || math.IsNaN(v.Len()) {
+			return true
+		}
+		n := v.Normalize()
+		return math.Abs(n.Len()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	zero := Vec3{}
+	if zero.Normalize() != zero {
+		t.Error("Normalize(0) should be 0")
+	}
+}
+
+func TestVec4PerspectiveDivide(t *testing.T) {
+	v := Vec4{2, 4, 6, 2}
+	if got := v.PerspectiveDivide(); got != (Vec3{1, 2, 3}) {
+		t.Errorf("PerspectiveDivide = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on W=0")
+		}
+	}()
+	Vec4{1, 1, 1, 0}.PerspectiveDivide()
+}
+
+func TestPoint4Dir4(t *testing.T) {
+	p := Point4(Vec3{1, 2, 3})
+	if p.W != 1 {
+		t.Errorf("Point4 W = %v", p.W)
+	}
+	d := Dir4(Vec3{1, 2, 3})
+	if d.W != 0 {
+		t.Errorf("Dir4 W = %v", d.W)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestVec4Lerp(t *testing.T) {
+	a := Vec4{0, 0, 0, 0}
+	b := Vec4{2, 4, 6, 8}
+	if got := a.Lerp(b, 0.25); got != (Vec4{0.5, 1, 1.5, 2}) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
