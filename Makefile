@@ -1,0 +1,16 @@
+# Tier-1 gate: everything CI (and every PR) must keep green.
+.PHONY: ci vet build test bench
+
+ci: vet build test
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...

@@ -7,6 +7,7 @@ package texcache_test
 // set TEXCACHE_BENCH_SCALE=1 for the paper's full-resolution runs.
 
 import (
+	"context"
 	"io"
 	"math"
 	"os"
@@ -61,6 +62,68 @@ func BenchmarkInterframe(b *testing.B)  { benchExperiment(b, "interframe") }
 func BenchmarkReplacement(b *testing.B) { benchExperiment(b, "replacement") }
 func BenchmarkSectored(b *testing.B)    { benchExperiment(b, "sectored") }
 func BenchmarkWorstCase(b *testing.B)   { benchExperiment(b, "worstcase") }
+
+// --- Sweep benchmarks -----------------------------------------------
+
+// benchSweepConfigs is the eight-configuration sweep both sweep
+// benchmarks replay, so their ratio measures the engine's single-pass
+// fan-out against one-config-at-a-time serial replay.
+func benchSweepConfigs() []texcache.CacheConfig {
+	return []texcache.CacheConfig{
+		{SizeBytes: 1 << 10, LineBytes: 32, Ways: 1},
+		{SizeBytes: 4 << 10, LineBytes: 32, Ways: 2},
+		{SizeBytes: 8 << 10, LineBytes: 64, Ways: 2},
+		{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		{SizeBytes: 16 << 10, LineBytes: 128, Ways: 0},
+		{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2},
+		{SizeBytes: 64 << 10, LineBytes: 128, Ways: 4},
+		{SizeBytes: 128 << 10, LineBytes: 256, Ways: 8},
+	}
+}
+
+// BenchmarkSerialSweep replays the Goblet trace once per configuration.
+func BenchmarkSerialSweep(b *testing.B) {
+	tr := gobletTrace(b)
+	cfgs := benchSweepConfigs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SimulateConfigs(cfgs)
+	}
+}
+
+// BenchmarkEngineSweep replays the Goblet trace through all
+// configurations in a single concurrent pass; compare with
+// BenchmarkSerialSweep on a multi-core machine for the fan-out speedup.
+func BenchmarkEngineSweep(b *testing.B) {
+	tr := gobletTrace(b)
+	cfgs := benchSweepConfigs()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.SimulateConfigsConcurrent(ctx, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatch runs a small experiment batch through the full
+// engine (shared trace cache, concurrent experiments).
+func BenchmarkEngineBatch(b *testing.B) {
+	cfg := texcache.ExperimentConfig{Scale: benchScale(), Scenes: []string{"goblet"}}
+	ids := []string{"fig5.7", "replacement", "sectored"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, err := texcache.RunExperiments(context.Background(), ids, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
 
 // --- Simulator micro-benchmarks -------------------------------------
 

@@ -1,74 +1,139 @@
 // Command texsim regenerates the paper's tables and figures from fresh
 // simulations of the four benchmark scenes.
 //
+// Experiments run concurrently through the texcache engine: each needed
+// (scene, layout, traversal) trace is rendered exactly once across the
+// batch, and multi-configuration sweeps replay each trace in a single
+// pass. Output is re-serialized into the requested order, so it is
+// byte-for-byte the serial output regardless of -workers.
+//
 // Usage:
 //
 //	texsim -list
 //	texsim -exp fig5.2 -scale 2
-//	texsim -exp all -scale 4 -scenes town,guitar
+//	texsim -exp all -scale 4 -scenes town,guitar -workers 8
+//
+// SIGINT / SIGTERM cancel the batch; experiments stop between frames.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"texcache/internal/exp"
+	"texcache"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		id     = flag.String("exp", "", "experiment ID, or 'all'")
-		scale  = flag.Int("scale", 2, "resolution divisor (1 = the paper's full size)")
-		list   = flag.Bool("list", false, "list available experiments")
-		scenes = flag.String("scenes", "", "comma-separated scene subset (default: each experiment's own)")
+		id      = flag.String("exp", "", "experiment ID, comma-separated list, or 'all'")
+		scale   = flag.Int("scale", 2, "resolution divisor (1 = the paper's full size)")
+		list    = flag.Bool("list", false, "list available experiments")
+		scenes  = flag.String("scenes", "", "comma-separated scene subset (default: each experiment's own)")
+		workers = flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *list || *id == "" {
 		fmt.Println("experiments:")
-		for _, e := range exp.All() {
-			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		for _, eid := range texcache.ExperimentIDs() {
+			fmt.Printf("  %s\n", eid)
 		}
 		if *id == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
-	cfg := exp.Config{Scale: *scale}
+	cfg := texcache.ExperimentConfig{Scale: *scale}
 	if *scenes != "" {
 		cfg.Scenes = strings.Split(*scenes, ",")
 	}
 
-	run := func(e exp.Experiment) error {
-		start := time.Now()
-		fmt.Printf("=== %s: %s (scale %d) ===\n", e.ID, e.Title, *scale)
-		if err := e.Run(cfg, os.Stdout); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		fmt.Printf("--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		return nil
+	var ids []string
+	if *id != "all" {
+		ids = strings.Split(*id, ",")
 	}
 
-	if *id == "all" {
-		for _, e := range exp.All() {
-			if err := run(e); err != nil {
-				fmt.Fprintln(os.Stderr, "texsim:", err)
-				os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	results, err := texcache.RunExperiments(ctx, ids, cfg, texcache.WithWorkers(*workers))
+	if err != nil {
+		return fail(err)
+	}
+
+	// Results arrive in completion order; buffer and print in request
+	// order so the output is deterministic.
+	if ids == nil {
+		ids = texcache.ExperimentIDs()
+	}
+	pending := make(map[int]texcache.ExperimentResult, len(ids))
+	next := 0
+	var firstErr error
+	flush := func(r texcache.ExperimentResult) {
+		fmt.Printf("=== %s: %s (scale %d) ===\n", r.ID, r.Title, *scale)
+		os.Stdout.WriteString(r.Output)
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "texsim: %s: %v\n", r.ID, r.Err)
+			if firstErr == nil {
+				firstErr = r.Err
 			}
+			return
 		}
-		return
+		fmt.Printf("--- %s done in %v ---\n\n", r.ID, r.Elapsed.Round(time.Millisecond))
 	}
-	e, ok := exp.Lookup(*id)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "texsim: unknown experiment %q; try -list\n", *id)
-		os.Exit(2)
+	for r := range results {
+		pending[r.Index] = r
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			flush(r)
+		}
 	}
-	if err := run(e); err != nil {
+	if firstErr != nil {
+		return fail(firstErr)
+	}
+	fmt.Printf("=== %d experiments in %v ===\n", len(ids), time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// fail prints err in the friendliest applicable form and returns the
+// process exit code.
+func fail(err error) int {
+	var (
+		ce *texcache.ConfigError
+		ue *texcache.UnknownExperimentError
+	)
+	switch {
+	case errors.As(err, &ce):
+		fmt.Fprintf(os.Stderr, "texsim: bad cache configuration: %s\n", ce.Reason)
+		fmt.Fprintf(os.Stderr, "  (size=%dB line=%dB ways=%d)\n",
+			ce.Config.SizeBytes, ce.Config.LineBytes, ce.Config.Ways)
+		return 1
+	case errors.As(err, &ue):
+		fmt.Fprintf(os.Stderr, "texsim: unknown experiment %q; try -list\n", ue.ID)
+		return 2
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "texsim: interrupted")
+		return 1
+	default:
 		fmt.Fprintln(os.Stderr, "texsim:", err)
-		os.Exit(1)
+		return 1
 	}
 }

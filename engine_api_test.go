@@ -1,0 +1,179 @@
+package texcache_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"texcache"
+)
+
+// sweep8 is the eight-configuration sweep the acceptance criteria name:
+// concurrent single-pass replay must match serial replay on it exactly.
+func sweep8() []texcache.CacheConfig {
+	return []texcache.CacheConfig{
+		{SizeBytes: 1 << 10, LineBytes: 32, Ways: 1},
+		{SizeBytes: 4 << 10, LineBytes: 32, Ways: 2},
+		{SizeBytes: 8 << 10, LineBytes: 64, Ways: 2},
+		{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		{SizeBytes: 16 << 10, LineBytes: 128, Ways: 0}, // fully associative
+		{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2},
+		{SizeBytes: 64 << 10, LineBytes: 128, Ways: 4},
+		{SizeBytes: 128 << 10, LineBytes: 256, Ways: 8},
+	}
+}
+
+// TestConcurrentSweepMatchesSerial verifies the single-pass multi-config
+// replay is bit-identical to serial replay on real rendered traces: two
+// scenes, eight configurations each.
+func TestConcurrentSweepMatchesSerial(t *testing.T) {
+	for _, name := range []string{"goblet", "town"} {
+		s := texcache.SceneByName(name, 8)
+		tr, _, err := s.Trace(texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8},
+			s.DefaultTraversal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tr.SimulateConfigs(sweep8())
+		got, err := tr.SimulateConfigsConcurrent(context.Background(), sweep8())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range sweep8() {
+			if got[i] != want[i] {
+				t.Errorf("%s %+v: concurrent %+v != serial %+v", name, cfg, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunExperimentsMatchesSerial checks the engine's streamed output is
+// byte-identical to the serial path for every experiment in the batch.
+func TestRunExperimentsMatchesSerial(t *testing.T) {
+	ids := []string{"fig5.2", "fig5.7", "sectored"}
+	cfg := texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}}
+
+	want := map[string]string{}
+	for _, id := range ids {
+		var sb strings.Builder
+		if err := texcache.RunExperimentContext(context.Background(), id, cfg, &sb); err != nil {
+			t.Fatalf("serial %s: %v", id, err)
+		}
+		want[id] = sb.String()
+	}
+
+	results, err := texcache.RunExperiments(context.Background(), ids, cfg,
+		texcache.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for r := range results {
+		n++
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.ID, r.Err)
+			continue
+		}
+		if r.ID != ids[r.Index] {
+			t.Errorf("result %s has index %d", r.ID, r.Index)
+		}
+		if r.Output != want[r.ID] {
+			t.Errorf("%s: engine output differs from serial", r.ID)
+		}
+	}
+	if n != len(ids) {
+		t.Errorf("got %d results, want %d", n, len(ids))
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	_, err := texcache.RunExperiments(context.Background(), []string{"nope"},
+		texcache.ExperimentConfig{Scale: 8})
+	var ue *texcache.UnknownExperimentError
+	if !errors.As(err, &ue) || ue.ID != "nope" {
+		t.Fatalf("err = %v, want *UnknownExperimentError{nope}", err)
+	}
+}
+
+// TestRunExperimentsCancellation verifies a cancelled context stops the
+// batch promptly, reporting the context error per experiment.
+func TestRunExperimentsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := texcache.RunExperiments(ctx, []string{"fig5.2", "fig5.7"},
+		texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			if r.Err == nil {
+				t.Errorf("%s completed under a cancelled context", r.ID)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled batch did not drain promptly")
+	}
+}
+
+func TestRunExperimentContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := texcache.RunExperimentContext(ctx, "fig5.2",
+		texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}}, &sb)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCheckedConstructors covers the error-returning constructor family:
+// every invalid configuration comes back as a *ConfigError, and the
+// deprecated panicking wrappers still panic.
+func TestCheckedConstructors(t *testing.T) {
+	bad := []texcache.CacheConfig{
+		{SizeBytes: 0, LineBytes: 32, Ways: 1},        // zero size
+		{SizeBytes: 1 << 10, LineBytes: 48, Ways: 1},  // non-power-of-two line
+		{SizeBytes: 1 << 10, LineBytes: 32, Ways: 64}, // ways > lines
+	}
+	for _, cfg := range bad {
+		var ce *texcache.ConfigError
+		if _, err := texcache.NewCacheChecked(cfg); !errors.As(err, &ce) {
+			t.Errorf("NewCacheChecked(%+v) = %v, want *ConfigError", cfg, err)
+		}
+		if _, err := texcache.NewClassifyingCacheChecked(cfg); !errors.As(err, &ce) {
+			t.Errorf("NewClassifyingCacheChecked(%+v) = %v, want *ConfigError", cfg, err)
+		}
+		if _, err := texcache.NewSectoredCache(cfg, 32); !errors.As(err, &ce) {
+			t.Errorf("NewSectoredCache(%+v) = %v, want *ConfigError", cfg, err)
+		}
+	}
+
+	good := texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2}
+	c, err := texcache.NewCacheChecked(good)
+	if err != nil || c == nil {
+		t.Fatalf("NewCacheChecked(valid) = %v, %v", c, err)
+	}
+	cc, err := texcache.NewClassifyingCacheChecked(good)
+	if err != nil || cc == nil {
+		t.Fatalf("NewClassifyingCacheChecked(valid) = %v, %v", cc, err)
+	}
+	cc.Access(0)
+	if s := cc.Stats(); s.Cold != 1 {
+		t.Errorf("checked classifying cache does not classify: %+v", s)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("deprecated NewCache stopped panicking on invalid config")
+		}
+	}()
+	texcache.NewCache(bad[0])
+}

@@ -18,8 +18,11 @@ func Example() {
 		panic(err)
 	}
 
-	c := texcache.NewClassifyingCache(texcache.CacheConfig{
+	c, err := texcache.NewClassifyingCacheChecked(texcache.CacheConfig{
 		SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	if err != nil {
+		panic(err)
+	}
 	trace.Replay(c.Sink())
 
 	s := c.Stats()

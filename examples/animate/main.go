@@ -26,7 +26,10 @@ func main() {
 
 	scene := texcache.SceneByName("goblet", *scale)
 	cfg := texcache.CacheConfig{SizeBytes: *size, LineBytes: 128, Ways: 2}
-	c := texcache.NewCache(cfg)
+	c, err := texcache.NewCacheChecked(cfg)
+	if err != nil {
+		log.Fatal(err) // e.g. a -cache value that is not a power of two
+	}
 
 	fmt.Printf("goblet orbit, %d frames at %g fps, shared %s cache\n\n",
 		*frames, *fps, fmtKB(*size))

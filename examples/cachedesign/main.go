@@ -57,7 +57,10 @@ func main() {
 					perScene: map[string]float64{},
 				}
 				for _, name := range texcache.SceneNames() {
-					c := texcache.NewCache(d.cfg)
+					c, err := texcache.NewCacheChecked(d.cfg)
+					if err != nil {
+						log.Fatal(err)
+					}
 					traces[key{name, blockFor[line]}].Replay(c.Sink())
 					mbps := model.BandwidthBytesPerSecond(c.Stats().MissRate(), line) / 1e6
 					d.perScene[name] = mbps

@@ -37,8 +37,11 @@ func main() {
 	fmt.Printf("%-10s %10s %12s %14s %10s\n",
 		"cache", "miss rate", "DRAM MB/s", "vs uncached", "misses")
 	for _, size := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10} {
-		c := texcache.NewCache(texcache.CacheConfig{
+		c, err := texcache.NewCacheChecked(texcache.CacheConfig{
 			SizeBytes: size, LineBytes: 128, Ways: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
 		trace.Replay(c.Sink())
 		s := c.Stats()
 		fmt.Printf("%-10s %9.2f%% %12.0f %13.1fx %10d\n",

@@ -24,8 +24,11 @@ func main() {
 	// A renderer with a 32KB 2-way cache attached to the texel stream.
 	r := texcache.NewRenderer(512, 512)
 	r.Textures = []*texcache.TextureObject{tex}
-	c := texcache.NewClassifyingCache(texcache.CacheConfig{
+	c, err := texcache.NewClassifyingCacheChecked(texcache.CacheConfig{
 		SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	r.Sink = c.Sink()
 
 	// A quad facing the camera, textured with 2x2 repetitions.

@@ -66,32 +66,51 @@ type Config struct {
 	Policy Replacement
 }
 
+// ConfigError reports a cache configuration rejected by validation. All
+// validation paths in this package (Config.Validate, the checked
+// constructors, NewSectored) return errors of this type, so callers can
+// distinguish bad input from simulation failures with errors.As.
+type ConfigError struct {
+	// Config is the rejected configuration.
+	Config Config
+	// Reason explains what was wrong with it.
+	Reason string
+}
+
+func (e *ConfigError) Error() string { return "cache: invalid config: " + e.Reason }
+
+// errf builds a *ConfigError for the configuration.
+func (c Config) errf(format string, args ...any) *ConfigError {
+	return &ConfigError{Config: c, Reason: fmt.Sprintf(format, args...)}
+}
+
 // Validate reports whether the configuration is internally consistent.
+// A non-nil result is always a *ConfigError.
 func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || bits.OnesCount(uint(c.SizeBytes)) != 1 {
-		return fmt.Errorf("cache: size %d is not a positive power of two", c.SizeBytes)
+		return c.errf("size %d is not a positive power of two", c.SizeBytes)
 	}
 	if c.LineBytes < 4 || bits.OnesCount(uint(c.LineBytes)) != 1 {
-		return fmt.Errorf("cache: line size %d is not a power of two >= 4", c.LineBytes)
+		return c.errf("line size %d is not a power of two >= 4", c.LineBytes)
 	}
 	if c.SizeBytes < c.LineBytes {
-		return fmt.Errorf("cache: size %d smaller than line %d", c.SizeBytes, c.LineBytes)
+		return c.errf("size %d smaller than line %d", c.SizeBytes, c.LineBytes)
 	}
 	if c.Ways < 0 {
-		return fmt.Errorf("cache: negative associativity %d", c.Ways)
+		return c.errf("negative associativity %d", c.Ways)
 	}
 	if c.Policy != LRU && c.Ways == 0 {
-		return fmt.Errorf("cache: %v replacement requires set associativity", c.Policy)
+		return c.errf("%v replacement requires set associativity", c.Policy)
 	}
 	if c.Policy < LRU || c.Policy > Random {
-		return fmt.Errorf("cache: unknown replacement policy %d", int(c.Policy))
+		return c.errf("unknown replacement policy %d", int(c.Policy))
 	}
 	if c.Ways > 0 {
 		if c.NumLines()%c.Ways != 0 {
-			return fmt.Errorf("cache: %d lines not divisible by %d ways", c.NumLines(), c.Ways)
+			return c.errf("%d lines not divisible by %d ways", c.NumLines(), c.Ways)
 		}
 		if bits.OnesCount(uint(c.NumSets())) != 1 {
-			return fmt.Errorf("cache: %d sets is not a power of two", c.NumSets())
+			return c.errf("%d sets is not a power of two", c.NumSets())
 		}
 	}
 	return nil
@@ -240,12 +259,25 @@ func TryNew(cfg Config) (*Cache, error) {
 // that would also miss in a fully-associative LRU cache of equal size is a
 // capacity miss, and the rest are conflict misses.
 func NewClassifying(cfg Config) *Cache {
-	c := New(cfg)
+	c, err := TryNewClassifying(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TryNewClassifying is like NewClassifying but reports invalid
+// configurations as errors (*ConfigError) instead of panicking.
+func TryNewClassifying(cfg Config) (*Cache, error) {
+	c, err := TryNew(cfg)
+	if err != nil {
+		return nil, err
+	}
 	c.everLoaded = make(map[uint64]bool)
 	if c.full == nil {
 		c.shadow = newFALRU(cfg.NumLines())
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache's configuration.

@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// synthTrace builds a deterministic trace with enough structure to
+// exercise hits, misses and conflicts across a range of configs.
+func synthTrace(n int) *Trace {
+	t := NewTrace(n)
+	state := uint64(0x243F6A8885A308D3)
+	for i := 0; i < n; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		// Mix streaming and reuse: half the accesses walk forward, half
+		// revisit a small hot region, all 4-byte aligned.
+		var a uint64
+		if i%2 == 0 {
+			a = uint64(i) * 4
+		} else {
+			a = (state % (1 << 12)) &^ 3
+		}
+		t.Access(a)
+	}
+	return t
+}
+
+// sweepConfigs is the shared multi-config sweep the equivalence tests use.
+func sweepConfigs() []Config {
+	return []Config{
+		{SizeBytes: 1 << 10, LineBytes: 32, Ways: 1},
+		{SizeBytes: 4 << 10, LineBytes: 32, Ways: 2},
+		{SizeBytes: 8 << 10, LineBytes: 64, Ways: 2},
+		{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2},
+		{SizeBytes: 32 << 10, LineBytes: 128, Ways: 0},
+		{SizeBytes: 64 << 10, LineBytes: 128, Ways: 8},
+		{SizeBytes: 128 << 10, LineBytes: 256, Ways: 1},
+	}
+}
+
+func TestSimulateConfigsConcurrentMatchesSerial(t *testing.T) {
+	tr := synthTrace(50_000)
+	cfgs := sweepConfigs()
+	want := tr.SimulateConfigs(cfgs)
+	got, err := tr.SimulateConfigsConcurrent(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if got[i] != want[i] {
+			t.Errorf("%v: concurrent %+v != serial %+v", cfgs[i], got[i], want[i])
+		}
+	}
+}
+
+func TestReplayConcurrentSmallChunks(t *testing.T) {
+	// Tiny chunks force many channel sends, shaking out ordering bugs.
+	tr := synthTrace(10_000)
+	cfgs := sweepConfigs()[:4]
+	want := tr.SimulateConfigs(cfgs)
+	sinks := make([]Sink, len(cfgs))
+	caches := make([]*Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		caches[i] = NewClassifying(cfg)
+		sinks[i] = caches[i].Sink()
+	}
+	if err := tr.replayConcurrent(context.Background(), 7, sinks); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if caches[i].Stats() != want[i] {
+			t.Errorf("%v: chunked %+v != serial %+v", cfgs[i], caches[i].Stats(), want[i])
+		}
+	}
+}
+
+func TestReplayConcurrentStackDist(t *testing.T) {
+	tr := synthTrace(20_000)
+	serial := NewStackDist(32)
+	tr.Replay(serial)
+	concurrent := NewStackDist(32)
+	if err := tr.ReplayConcurrent(context.Background(), concurrent); err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{1 << 10, 4 << 10, 16 << 10}
+	for _, sz := range sizes {
+		if got, want := concurrent.MissRateAt(sz), serial.MissRateAt(sz); got != want {
+			t.Errorf("stack-distance miss rate at %d: concurrent %v != serial %v", sz, got, want)
+		}
+	}
+}
+
+func TestReplayConcurrentEmptyAndNoSinks(t *testing.T) {
+	tr := NewTrace(0)
+	if err := tr.ReplayConcurrent(context.Background()); err != nil {
+		t.Errorf("no sinks: %v", err)
+	}
+	c := New(Config{SizeBytes: 1 << 10, LineBytes: 32, Ways: 1})
+	if err := tr.ReplayConcurrent(context.Background(), c.Sink()); err != nil {
+		t.Errorf("empty trace: %v", err)
+	}
+	if c.Stats().Accesses != 0 {
+		t.Errorf("empty trace produced accesses: %+v", c.Stats())
+	}
+}
+
+func TestReplayConcurrentCancellation(t *testing.T) {
+	tr := synthTrace(100_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the pass must stop promptly
+	done := make(chan error, 1)
+	go func() {
+		c := New(Config{SizeBytes: 4 << 10, LineBytes: 32, Ways: 2})
+		done <- tr.ReplayConcurrent(ctx, c.Sink())
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled replay returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled replay did not return promptly")
+	}
+}
+
+func TestSimulateConfigsConcurrentInvalidConfig(t *testing.T) {
+	tr := synthTrace(100)
+	_, err := tr.SimulateConfigsConcurrent(context.Background(),
+		[]Config{{SizeBytes: 3000, LineBytes: 32, Ways: 1}})
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Errorf("invalid config returned %v, want *ConfigError", err)
+	}
+	if _, err := tr.MissRatesConcurrent(context.Background(),
+		[]Config{{SizeBytes: 1 << 10, LineBytes: 3, Ways: 1}}); err == nil {
+		t.Error("MissRatesConcurrent accepted an invalid config")
+	}
+}
+
+func TestConfigErrorFromEveryConstructor(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Ways: 1},            // zero size
+		{SizeBytes: 3 << 10, LineBytes: 32, Ways: 1},      // non-power-of-two size
+		{SizeBytes: 1 << 10, LineBytes: 48, Ways: 1},      // non-power-of-two line
+		{SizeBytes: 1 << 10, LineBytes: 32, Ways: 64},     // ways > lines
+		{SizeBytes: 256, LineBytes: 512, Ways: 1},         // size < line
+		{SizeBytes: 1 << 10, LineBytes: 32, Ways: -1},     // negative ways
+		{SizeBytes: 1 << 10, LineBytes: 32, Policy: FIFO}, // FIFO needs sets
+	}
+	for _, cfg := range bad {
+		var ce *ConfigError
+		if err := cfg.Validate(); !errors.As(err, &ce) {
+			t.Errorf("Validate(%+v) = %v, want *ConfigError", cfg, err)
+			continue
+		}
+		if _, err := TryNew(cfg); !errors.As(err, &ce) {
+			t.Errorf("TryNew(%+v) = %v, want *ConfigError", cfg, err)
+		}
+		if _, err := TryNewClassifying(cfg); !errors.As(err, &ce) {
+			t.Errorf("TryNewClassifying(%+v) = %v, want *ConfigError", cfg, err)
+		}
+		if _, err := NewSectored(cfg, 32); !errors.As(err, &ce) {
+			t.Errorf("NewSectored(%+v) = %v, want *ConfigError", cfg, err)
+		}
+	}
+	// Sectored-specific rejections are ConfigErrors too.
+	good := Config{SizeBytes: 4 << 10, LineBytes: 128, Ways: 2}
+	var ce *ConfigError
+	if _, err := NewSectored(good, 3); !errors.As(err, &ce) {
+		t.Errorf("NewSectored bad sector = %v, want *ConfigError", err)
+	}
+	if _, err := NewSectored(Config{SizeBytes: 4 << 10, LineBytes: 128, Ways: 0}, 32); !errors.As(err, &ce) {
+		t.Errorf("NewSectored fully-assoc = %v, want *ConfigError", err)
+	}
+}

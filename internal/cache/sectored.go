@@ -1,7 +1,6 @@
 package cache
 
 import (
-	"fmt"
 	"math/bits"
 )
 
@@ -42,17 +41,17 @@ func NewSectored(cfg Config, sectorBytes int) (*Sectored, error) {
 		return nil, err
 	}
 	if cfg.Ways == 0 {
-		return nil, fmt.Errorf("cache: sectored cache requires set associativity")
+		return nil, cfg.errf("sectored cache requires set associativity")
 	}
 	if cfg.Policy != LRU {
-		return nil, fmt.Errorf("cache: sectored cache supports LRU only")
+		return nil, cfg.errf("sectored cache supports LRU only")
 	}
 	if sectorBytes < 4 || bits.OnesCount(uint(sectorBytes)) != 1 || sectorBytes > cfg.LineBytes {
-		return nil, fmt.Errorf("cache: sector size %d must be a power of two in [4, %d]",
+		return nil, cfg.errf("sector size %d must be a power of two in [4, %d]",
 			sectorBytes, cfg.LineBytes)
 	}
 	if cfg.LineBytes/sectorBytes > 64 {
-		return nil, fmt.Errorf("cache: more than 64 sectors per line")
+		return nil, cfg.errf("more than 64 sectors per line")
 	}
 	s := &Sectored{
 		cfg:         cfg,

@@ -1,0 +1,183 @@
+// Package engine runs batches of registered experiments concurrently.
+// Two levels of sharing make a batch cheaper than the sum of its parts:
+// a keyed single-flight trace cache renders each (scene, layout,
+// traversal) stream once for every experiment that needs it, and the
+// cache layer's concurrent replay lets one pass over a trace feed a
+// whole sweep of cache configurations. Results stream back on a channel
+// as experiments finish, tagged with their position in the request so
+// callers can re-serialize deterministic output.
+package engine
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"texcache/internal/exp"
+)
+
+// Result is one finished experiment. Index is the experiment's position
+// in the requested ID list, so a consumer that wants the serial order
+// can reorder the stream by Index.
+type Result struct {
+	Index   int
+	ID      string
+	Title   string
+	Output  string // everything the experiment wrote
+	Err     error  // non-nil if the experiment failed or was cancelled
+	Elapsed time.Duration
+}
+
+// Options configures an engine.
+type Options struct {
+	// Workers bounds how many experiments run at once. Zero or negative
+	// means GOMAXPROCS.
+	Workers int
+	// Prewarm renders the traces declared by each experiment's Needs
+	// hook through the worker pool before any experiment starts, so the
+	// first experiments don't serialize on shared renders.
+	Prewarm bool
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithWorkers bounds the number of concurrently running experiments.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithPrewarm toggles rendering declared traces ahead of the experiments.
+func WithPrewarm(on bool) Option { return func(o *Options) { o.Prewarm = on } }
+
+// Engine schedules experiment batches.
+type Engine struct {
+	opts Options
+}
+
+// New returns an engine with the given options applied over defaults
+// (Workers = GOMAXPROCS, Prewarm on).
+func New(opts ...Option) *Engine {
+	o := Options{Workers: runtime.GOMAXPROCS(0), Prewarm: true}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{opts: o}
+}
+
+// Run executes the experiments named by ids (all registered experiments
+// when ids is empty) and streams one Result per experiment as each
+// finishes. The returned channel is closed after the last result.
+//
+// Unknown IDs fail fast with *exp.UnknownExperimentError before any work
+// starts. When cfg.Traces is nil the engine installs a shared TraceCache
+// so the batch renders each needed (scene, layout, traversal) stream
+// exactly once; a caller-supplied provider is left in place.
+//
+// Cancelling ctx stops the batch: queued experiments are skipped and
+// running ones return their context error, reported through Result.Err.
+func (e *Engine) Run(ctx context.Context, ids []string, cfg exp.Config) (<-chan Result, error) {
+	exps, err := resolve(ids)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Traces == nil {
+		cfg.Traces = NewTraceCache()
+	}
+
+	out := make(chan Result, len(exps))
+	sem := make(chan struct{}, e.opts.Workers)
+	var wg sync.WaitGroup
+
+	go func() {
+		defer close(out)
+		if e.opts.Prewarm {
+			e.prewarm(ctx, exps, cfg, sem)
+		}
+		for i, ex := range exps {
+			wg.Add(1)
+			go func(i int, ex exp.Experiment) {
+				defer wg.Done()
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-ctx.Done():
+					out <- Result{Index: i, ID: ex.ID, Title: ex.Title, Err: ctx.Err()}
+					return
+				}
+				out <- runOne(ctx, i, ex, cfg)
+			}(i, ex)
+		}
+		wg.Wait()
+	}()
+	return out, nil
+}
+
+// resolve maps IDs to experiments, defaulting to the whole registry.
+func resolve(ids []string) ([]exp.Experiment, error) {
+	if len(ids) == 0 {
+		return exp.All(), nil
+	}
+	exps := make([]exp.Experiment, len(ids))
+	for i, id := range ids {
+		ex, ok := exp.Lookup(id)
+		if !ok {
+			return nil, &exp.UnknownExperimentError{ID: id}
+		}
+		exps[i] = ex
+	}
+	return exps, nil
+}
+
+// prewarm renders the batch's declared trace needs, deduplicated, through
+// the same worker pool the experiments will use. Errors are ignored here:
+// a failing render will fail again, visibly, inside the experiment that
+// needs it.
+func (e *Engine) prewarm(ctx context.Context, exps []exp.Experiment, cfg exp.Config, sem chan struct{}) {
+	seen := map[exp.TraceKey]bool{}
+	var keys []exp.TraceKey
+	for _, ex := range exps {
+		if ex.Needs == nil {
+			continue
+		}
+		for _, k := range ex.Needs(cfg) {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k exp.TraceKey) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			_, _ = cfg.Traces.SceneTrace(ctx, k, cfg.EffectiveScale())
+		}(k)
+	}
+	wg.Wait()
+}
+
+// runOne executes a single experiment, capturing its output.
+func runOne(ctx context.Context, i int, ex exp.Experiment, cfg exp.Config) Result {
+	r := Result{Index: i, ID: ex.ID, Title: ex.Title}
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	var buf bytes.Buffer
+	start := time.Now()
+	r.Err = ex.Run(ctx, cfg, &buf)
+	r.Elapsed = time.Since(start)
+	r.Output = buf.String()
+	return r
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"texcache/internal/exp"
+	"texcache/internal/raster"
+	"texcache/internal/texture"
+)
+
+var testCfg = exp.Config{Scale: 8, Scenes: []string{"goblet"}}
+
+func collect(t *testing.T, ch <-chan Result) map[string]Result {
+	t.Helper()
+	out := map[string]Result{}
+	for r := range ch {
+		out[r.ID] = r
+	}
+	return out
+}
+
+func TestRunMatchesSerial(t *testing.T) {
+	ids := []string{"fig5.2", "fig5.7", "replacement", "sectored"}
+	want := map[string]string{}
+	for _, id := range ids {
+		ex, ok := exp.Lookup(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		var sb strings.Builder
+		if err := ex.Run(context.Background(), testCfg, &sb); err != nil {
+			t.Fatalf("serial %s: %v", id, err)
+		}
+		want[id] = sb.String()
+	}
+
+	ch, err := New(WithWorkers(4)).Run(context.Background(), ids, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, ch)
+	if len(got) != len(ids) {
+		t.Fatalf("engine returned %d results, want %d", len(got), len(ids))
+	}
+	for _, id := range ids {
+		r := got[id]
+		if r.Err != nil {
+			t.Errorf("%s: %v", id, r.Err)
+		}
+		if r.Output != want[id] {
+			t.Errorf("%s: engine output differs from serial run\nengine:\n%s\nserial:\n%s",
+				id, r.Output, want[id])
+		}
+	}
+}
+
+func TestRunIndexesFollowRequestOrder(t *testing.T) {
+	ids := []string{"table2.1", "table4.1"}
+	ch, err := New().Run(context.Background(), ids, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range ch {
+		if ids[r.Index] != r.ID {
+			t.Errorf("result %s carries index %d (= %s)", r.ID, r.Index, ids[r.Index])
+		}
+		if r.Title == "" {
+			t.Errorf("%s: missing title", r.ID)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	_, err := New().Run(context.Background(), []string{"fig5.2", "bogus"}, testCfg)
+	var ue *exp.UnknownExperimentError
+	if !errors.As(err, &ue) || ue.ID != "bogus" {
+		t.Fatalf("Run(bogus) = %v, want *exp.UnknownExperimentError{bogus}", err)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ch, err := New().Run(ctx, []string{"fig5.2", "fig5.7"}, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan map[string]Result, 1)
+	go func() { done <- collect(t, ch) }()
+	select {
+	case got := <-done:
+		for id, r := range got {
+			if r.Err == nil {
+				t.Errorf("%s completed under a cancelled context", id)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled batch did not drain promptly")
+	}
+}
+
+func TestTraceCacheSingleFlight(t *testing.T) {
+	tc := NewTraceCache()
+	key := exp.TraceKey{
+		Scene:     "goblet",
+		Layout:    texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8},
+		Traversal: raster.Traversal{Order: raster.RowMajor},
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = tc.SceneTrace(context.Background(), key, 8)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+	if n := tc.Renders(); n != 1 {
+		t.Errorf("%d concurrent requests caused %d renders, want 1", callers, n)
+	}
+	// A different scale is a different stream.
+	if _, err := tc.SceneTrace(context.Background(), key, 16); err != nil {
+		t.Fatal(err)
+	}
+	if n := tc.Renders(); n != 2 {
+		t.Errorf("scale change reused a render: renders = %d, want 2", n)
+	}
+}
+
+func TestTraceCacheErrorNotCached(t *testing.T) {
+	tc := NewTraceCache()
+	bad := exp.TraceKey{Scene: "no-such-scene"}
+	if _, err := tc.SceneTrace(context.Background(), bad, 8); err == nil {
+		t.Fatal("unknown scene rendered")
+	}
+	if _, err := tc.SceneTrace(context.Background(), bad, 8); err == nil {
+		t.Fatal("unknown scene rendered on retry")
+	}
+	if n := tc.Renders(); n != 2 {
+		t.Errorf("failed render was cached: renders = %d, want 2 attempts", n)
+	}
+}
+
+func TestEngineSharesRendersAcrossExperiments(t *testing.T) {
+	// fig5.7 and replacement both need goblet blocked-8 traces; a shared
+	// cache must render strictly fewer streams than the sum of their
+	// needs run privately.
+	tc := NewTraceCache()
+	cfg := testCfg
+	cfg.Traces = tc
+	ch, err := New(WithWorkers(2)).Run(context.Background(), []string{"fig5.7", "replacement"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range ch {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+	}
+	// fig5.7 needs 2 directions x 1 scene; replacement needs the same
+	// default-direction stream. Without sharing that is 3 renders; with
+	// sharing the default-direction render is reused.
+	if n := tc.Renders(); n > 2 {
+		t.Errorf("batch rendered %d streams, want <= 2 with sharing", n)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	e := New(WithWorkers(-3))
+	if e.opts.Workers < 1 {
+		t.Errorf("Workers = %d, want >= 1", e.opts.Workers)
+	}
+	e = New(WithPrewarm(false), WithWorkers(7))
+	if e.opts.Prewarm || e.opts.Workers != 7 {
+		t.Errorf("options not applied: %+v", e.opts)
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"texcache/internal/cache"
+	"texcache/internal/exp"
+	"texcache/internal/scenes"
+)
+
+// traceCacheKey is a TraceKey plus the run scale: the full identity of a
+// rendered address stream.
+type traceCacheKey struct {
+	key   exp.TraceKey
+	scale int
+}
+
+// traceEntry is one slot of the trace cache. ready is closed once tr/err
+// are final; waiters block on it (or their context) instead of holding
+// the cache lock through a render.
+type traceEntry struct {
+	ready chan struct{}
+	tr    *cache.Trace
+	err   error
+}
+
+// TraceCache memoizes rendered traces keyed by (scene, layout, traversal,
+// scale) with single-flight semantics: when several experiments request
+// the same stream concurrently, exactly one goroutine renders it and the
+// rest wait for that result. It implements exp.TraceProvider, so
+// installing one as Config.Traces makes every experiment in a batch share
+// renders.
+//
+// Failed renders are not cached: the entry is removed so a later request
+// (perhaps with a different deadline) retries.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[traceCacheKey]*traceEntry
+	renders int // number of actual renders performed, for tests/metrics
+}
+
+// NewTraceCache returns an empty trace cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: map[traceCacheKey]*traceEntry{}}
+}
+
+// Renders reports how many renders the cache has actually performed —
+// the denominator of its hit rate.
+func (tc *TraceCache) Renders() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.renders
+}
+
+// SceneTrace returns the trace for key at the given scale, rendering it
+// on the calling goroutine if no other request got there first. Waiters
+// respect ctx: a cancelled waiter returns early while the render (owned
+// by another caller) continues for whoever still wants it.
+func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale int) (*cache.Trace, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	ck := traceCacheKey{key: key, scale: scale}
+
+	tc.mu.Lock()
+	if e, ok := tc.entries[ck]; ok {
+		tc.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.tr, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &traceEntry{ready: make(chan struct{})}
+	tc.entries[ck] = e
+	tc.renders++
+	tc.mu.Unlock()
+
+	e.tr, e.err = renderTrace(ctx, ck)
+	if e.err != nil {
+		// Drop failed entries so the next request retries.
+		tc.mu.Lock()
+		delete(tc.entries, ck)
+		tc.mu.Unlock()
+	}
+	close(e.ready)
+	return e.tr, e.err
+}
+
+// renderTrace performs the actual scene render for one cache slot.
+func renderTrace(ctx context.Context, ck traceCacheKey) (*cache.Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := scenes.ByName(ck.key.Scene, ck.scale)
+	if s == nil {
+		return nil, fmt.Errorf("engine: unknown scene %q", ck.key.Scene)
+	}
+	tr, _, err := s.Trace(ck.key.Layout, ck.key.Traversal)
+	return tr, err
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,12 +19,28 @@ func init() {
 		Title: "Replacement policy ablation: LRU vs FIFO vs random " +
 			"(the paper assumes LRU)",
 		Run: runReplacement,
+		Needs: func(cfg Config) []TraceKey {
+			var keys []TraceKey
+			for _, name := range cfg.sceneList("goblet", "town") {
+				keys = append(keys, TraceKey{Scene: name, Layout: blocked8(),
+					Traversal: defaultTraversalFor(name)})
+			}
+			return keys
+		},
 	})
 	register(Experiment{
 		ID: "sectored",
 		Title: "Sectored (sub-block) lines vs full-line fills: miss rate " +
 			"vs fill traffic",
 		Run: runSectored,
+		Needs: func(cfg Config) []TraceKey {
+			var keys []TraceKey
+			for _, name := range cfg.sceneList(scenes.Names()...) {
+				keys = append(keys, TraceKey{Scene: name, Layout: blocked8(),
+					Traversal: defaultTraversalFor(name)})
+			}
+			return keys
+		},
 	})
 }
 
@@ -31,26 +48,29 @@ func init() {
 // standard 2-way / 128B / blocked-8x8 point. Expected shape: LRU lowest,
 // FIFO and random close behind — texture streams are so sequential that
 // policy matters little, which is itself a finding.
-func runReplacement(cfg Config, w io.Writer) error {
+func runReplacement(ctx context.Context, cfg Config, w io.Writer) error {
+	policies := []cache.Replacement{cache.LRU, cache.FIFO, cache.Random}
 	for _, name := range cfg.sceneList("goblet", "town") {
-		s, err := buildScene(cfg, name)
-		if err != nil {
-			return err
-		}
-		tr, _, err := s.Trace(blocked8(), s.DefaultTraversal())
+		tr, err := traceScene(ctx, cfg, name, blocked8(), defaultTraversalFor(name))
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "--- %s, 2-way, 128B lines, blocked 8x8 ---\n", name)
 		printCurveHeader(w, "policy")
-		for _, p := range []cache.Replacement{cache.LRU, cache.FIFO, cache.Random} {
-			rates := make([]float64, 0, len(curveSizes()))
+		// One pass replays the whole (policy x size) grid concurrently.
+		var cfgs []cache.Config
+		for _, p := range policies {
 			for _, size := range curveSizes() {
-				c := cache.New(cache.Config{SizeBytes: size, LineBytes: 128, Ways: 2, Policy: p})
-				tr.Replay(c.Sink())
-				rates = append(rates, c.Stats().MissRate())
+				cfgs = append(cfgs, cache.Config{SizeBytes: size, LineBytes: 128, Ways: 2, Policy: p})
 			}
-			printCurve(w, p.String(), rates)
+		}
+		rates, err := tr.MissRatesConcurrent(ctx, cfgs)
+		if err != nil {
+			return err
+		}
+		per := len(curveSizes())
+		for i, p := range policies {
+			printCurve(w, p.String(), rates[i*per:(i+1)*per])
 		}
 		fmt.Fprintln(w)
 	}
@@ -64,38 +84,44 @@ func runReplacement(cfg Config, w io.Writer) error {
 // raise the miss (fetch) count — the texture stream profits from the
 // full-line prefetch of neighboring texels — but each fetch moves fewer
 // bytes, so the traffic comparison decides the design.
-func runSectored(cfg Config, w io.Writer) error {
+func runSectored(ctx context.Context, cfg Config, w io.Writer) error {
 	const lineBytes = 128
 	fmt.Fprintf(w, "%-8s %-18s %12s %12s %12s\n",
 		"scene", "organization", "fetch rate", "tag misses", "MB moved")
 	for _, name := range cfg.sceneList(scenes.Names()...) {
-		s, err := buildScene(cfg, name)
-		if err != nil {
-			return err
-		}
-		tr, _, err := s.Trace(blocked8(), s.DefaultTraversal())
+		tr, err := traceScene(ctx, cfg, name, blocked8(), defaultTraversalFor(name))
 		if err != nil {
 			return err
 		}
 		ccfg := cache.Config{SizeBytes: 32 << 10, LineBytes: lineBytes, Ways: 2}
 
+		// The full-line cache and both sectored variants share one
+		// concurrent pass over the trace.
 		full := cache.New(ccfg)
-		tr.Replay(full.Sink())
-		fs := full.Stats()
-		fmt.Fprintf(w, "%-8s %-18s %11.2f%% %12d %12.2f\n",
-			name, "full 128B fills", 100*fs.MissRate(), fs.Misses,
-			float64(fs.BytesFetched(lineBytes))/(1<<20))
-
-		for _, sector := range []int{64, 32} {
+		sectors := []int{64, 32}
+		scs := make([]*cache.Sectored, len(sectors))
+		sinks := []cache.Sink{full.Sink()}
+		for i, sector := range sectors {
 			sc, err := cache.NewSectored(ccfg, sector)
 			if err != nil {
 				return err
 			}
-			tr.Replay(sc.Sink())
-			ss := sc.Stats()
+			scs[i] = sc
+			sinks = append(sinks, sc.Sink())
+		}
+		if err := tr.ReplayConcurrent(ctx, sinks...); err != nil {
+			return err
+		}
+
+		fs := full.Stats()
+		fmt.Fprintf(w, "%-8s %-18s %11.2f%% %12d %12.2f\n",
+			name, "full 128B fills", 100*fs.MissRate(), fs.Misses,
+			float64(fs.BytesFetched(lineBytes))/(1<<20))
+		for i, sector := range sectors {
+			ss := scs[i].Stats()
 			fmt.Fprintf(w, "%-8s %-18s %11.2f%% %12d %12.2f\n",
 				name, fmt.Sprintf("%dB sectors", sector), 100*ss.MissRate(),
-				sc.TagMisses(), float64(sc.TrafficBytes())/(1<<20))
+				scs[i].TagMisses(), float64(scs[i].TrafficBytes())/(1<<20))
 		}
 	}
 	fmt.Fprintln(w, "\nfull-line fills act as spatial prefetch for blocked textures; sectors")

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,7 +35,10 @@ func init() {
 }
 
 // characterize renders one scene with the locality collector attached.
-func characterize(cfg Config, name string) (*scenes.Scene, *stats.Locality, *cost.Counters, *frameInfo, error) {
+func characterize(ctx context.Context, cfg Config, name string) (*scenes.Scene, *stats.Locality, *cost.Counters, *frameInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, nil, err
+	}
 	s, err := buildScene(cfg, name)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -76,12 +80,12 @@ func safeDiv(a, b float64) float64 {
 	return a / b
 }
 
-func runTable41(cfg Config, w io.Writer) error {
+func runTable41(ctx context.Context, cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %-11s %6s %8s %6s %6s %5s %9s %9s %6s %9s\n",
 		"Scene", "Resolution", "Tris", "AvgArea", "AvgW", "AvgH",
 		"Texs", "Store(MB)", "Used(MB)", "Used%", "PixTex(M)")
 	for _, name := range cfg.sceneList(scenes.Names()...) {
-		s, loc, _, fi, err := characterize(cfg, name)
+		s, loc, _, fi, err := characterize(ctx, cfg, name)
 		if err != nil {
 			return err
 		}
@@ -95,9 +99,9 @@ func runTable41(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runTable21(cfg Config, w io.Writer) error {
+func runTable21(ctx context.Context, cfg Config, w io.Writer) error {
 	for _, name := range cfg.sceneList("goblet") {
-		_, _, counters, _, err := characterize(cfg, name)
+		_, _, counters, _, err := characterize(ctx, cfg, name)
 		if err != nil {
 			return err
 		}
@@ -109,11 +113,11 @@ func runTable21(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runLocality(cfg Config, w io.Writer) error {
+func runLocality(ctx context.Context, cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %12s %12s %12s %11s %12s\n",
 		"Scene", "lower/texel", "upper/texel", "bili/texel", "repetition", "uniqueTexels")
 	for _, name := range cfg.sceneList(scenes.Names()...) {
-		_, loc, _, _, err := characterize(cfg, name)
+		_, loc, _, _, err := characterize(ctx, cfg, name)
 		if err != nil {
 			return err
 		}
@@ -129,10 +133,10 @@ func runLocality(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runRunlength(cfg Config, w io.Writer) error {
+func runRunlength(ctx context.Context, cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %14s %8s\n", "Scene", "avg runlength", "runs")
 	for _, name := range cfg.sceneList("town", "guitar", "flight") {
-		_, loc, _, _, err := characterize(cfg, name)
+		_, loc, _, _, err := characterize(ctx, cfg, name)
 		if err != nil {
 			return err
 		}

@@ -1,11 +1,13 @@
 // Package exp is the experiment harness: one registered experiment per
 // table and figure of the paper's evaluation, each regenerating the
 // corresponding rows or curve series from a fresh simulation of the four
-// benchmark scenes. The cmd/texsim command and the repository's benchmark
-// suite are thin wrappers over this registry.
+// benchmark scenes. The cmd/texsim command, the internal/engine worker
+// pool and the repository's benchmark suite are thin wrappers over this
+// registry.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +17,22 @@ import (
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
 )
+
+// TraceKey identifies one rendered texel address stream: the stream is
+// fully determined by (scene, layout, traversal) at a given scale, so a
+// key plus the run's scale names a memoizable render.
+type TraceKey struct {
+	Scene     string
+	Layout    texture.LayoutSpec
+	Traversal raster.Traversal
+}
+
+// TraceProvider supplies rendered traces. The engine implements it with
+// a keyed, single-flight memoizing cache so concurrent experiments that
+// need the same (scene, layout, traversal) render it exactly once.
+type TraceProvider interface {
+	SceneTrace(ctx context.Context, key TraceKey, scale int) (*cache.Trace, error)
+}
 
 // Config parameterizes an experiment run.
 type Config struct {
@@ -26,18 +44,26 @@ type Config struct {
 	// Scenes restricts the benchmark set; empty means each experiment's
 	// own default (usually the scenes the paper shows).
 	Scenes []string
+	// Traces, when non-nil, supplies rendered traces instead of each
+	// experiment rendering privately — the hook through which the engine
+	// shares one memoized render across every experiment that needs it.
+	Traces TraceProvider
 }
 
 // DefaultConfig runs everything at half resolution, a good
 // fidelity/runtime tradeoff.
 func DefaultConfig() Config { return Config{Scale: 2} }
 
-func (c Config) scale() int {
+// EffectiveScale returns the scale clamped to a minimum of 1, the value
+// trace keys resolve against.
+func (c Config) EffectiveScale() int {
 	if c.Scale < 1 {
 		return 1
 	}
 	return c.Scale
 }
+
+func (c Config) scale() int { return c.EffectiveScale() }
 
 // sceneList returns the configured scene subset, defaulting to defs.
 func (c Config) sceneList(defs ...string) []string {
@@ -53,8 +79,23 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact as the paper captions it.
 	Title string
-	// Run executes the experiment, writing rows/series to w.
-	Run func(cfg Config, w io.Writer) error
+	// Run executes the experiment, writing rows/series to w. It must
+	// honor ctx: long sweeps check for cancellation at least once per
+	// rendered frame.
+	Run func(ctx context.Context, cfg Config, w io.Writer) error
+	// Needs, when non-nil, declares the traces the experiment will
+	// request for the given configuration, so a batching engine can
+	// prewarm its trace cache across workers before Run starts. Purely
+	// an optimization hint: Run must work without it.
+	Needs func(cfg Config) []TraceKey
+}
+
+// UnknownExperimentError reports an experiment ID that is not in the
+// registry.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "texcache: unknown experiment " + e.ID
 }
 
 var registry = map[string]Experiment{}
@@ -102,8 +143,16 @@ func buildScene(cfg Config, name string) (*scenes.Scene, error) {
 	return s, nil
 }
 
-// traceScene renders one frame and returns the texel address trace.
-func traceScene(cfg Config, name string, layout texture.LayoutSpec, trav raster.Traversal) (*cache.Trace, error) {
+// traceScene returns the texel address trace of one rendered frame,
+// through the configured provider when one is installed (sharing renders
+// across experiments) and by rendering privately otherwise.
+func traceScene(ctx context.Context, cfg Config, name string, layout texture.LayoutSpec, trav raster.Traversal) (*cache.Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.Traces != nil {
+		return cfg.Traces.SceneTrace(ctx, TraceKey{Scene: name, Layout: layout, Traversal: trav}, cfg.scale())
+	}
 	s, err := buildScene(cfg, name)
 	if err != nil {
 		return nil, err
@@ -148,3 +197,13 @@ func blocked8() texture.LayoutSpec {
 
 // lineForBlock returns the line size matching a square block in bytes.
 func lineForBlock(blockW int) int { return blockW * blockW * texture.TexelBytes }
+
+// defaultTraversalFor returns the untiled traversal in the named scene's
+// reported rasterization direction — the static metadata Needs
+// declarations use without building the scene.
+func defaultTraversalFor(name string) raster.Traversal {
+	if name == "town" {
+		return raster.Traversal{Order: raster.ColumnMajor}
+	}
+	return raster.Traversal{Order: raster.RowMajor}
+}

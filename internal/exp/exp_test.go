@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"texcache/internal/scenes"
 )
 
 // testCfg runs experiments at scale 8 so the whole suite stays fast; the
@@ -50,7 +53,7 @@ func runOne(t *testing.T, id string, cfg Config) string {
 		t.Fatalf("experiment %s not registered", id)
 	}
 	var sb strings.Builder
-	if err := e.Run(cfg, &sb); err != nil {
+	if err := e.Run(context.Background(), cfg, &sb); err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
 	return sb.String()
@@ -243,7 +246,7 @@ func TestWorstCaseOutput(t *testing.T) {
 func TestUnknownSceneErrors(t *testing.T) {
 	e, _ := Lookup("table4.1")
 	var sb strings.Builder
-	if err := e.Run(Config{Scale: 8, Scenes: []string{"bogus"}}, &sb); err == nil {
+	if err := e.Run(context.Background(), Config{Scale: 8, Scenes: []string{"bogus"}}, &sb); err == nil {
 		t.Error("unknown scene accepted")
 	}
 }
@@ -274,5 +277,40 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if DefaultConfig().Scale != 2 {
 		t.Error("DefaultConfig changed")
+	}
+}
+
+// TestNeedsKeysRunnable checks every declared Needs key is renderable:
+// the scenes exist and the declared traversal direction matches what the
+// experiment would render privately, so an engine prewarming from Needs
+// populates exactly the traces Run will ask for.
+func TestNeedsKeysRunnable(t *testing.T) {
+	cfg := Config{Scale: 16}
+	for _, e := range All() {
+		if e.Needs == nil {
+			continue
+		}
+		for _, k := range e.Needs(cfg) {
+			if s := scenes.ByName(k.Scene, cfg.scale()); s == nil {
+				t.Errorf("%s: Needs names unknown scene %q", e.ID, k.Scene)
+			}
+		}
+	}
+}
+
+// TestRunHonorsCancelledContext verifies experiments return promptly with
+// the context's error when cancelled before any work happens.
+func TestRunHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"fig5.2", "fig5.7", "replacement", "worstcase", "dram"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		var sb strings.Builder
+		if err := e.Run(ctx, Config{Scale: 16, Scenes: []string{"goblet"}}, &sb); err == nil {
+			t.Errorf("%s ran to completion under a cancelled context", id)
+		}
 	}
 }

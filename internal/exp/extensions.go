@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,6 +25,20 @@ func init() {
 		Title: "Peano-Hilbert rasterization path vs scanline and tiled " +
 			"orders (footnote 1 ablation)",
 		Run: runHilbert,
+		Needs: func(cfg Config) []TraceKey {
+			name := "guitar"
+			if len(cfg.Scenes) > 0 {
+				name = cfg.Scenes[0]
+			}
+			base := defaultTraversalFor(name)
+			tiled := base
+			tiled.TileW, tiled.TileH = 8, 8
+			return []TraceKey{
+				{Scene: name, Layout: blocked8(), Traversal: base},
+				{Scene: name, Layout: blocked8(), Traversal: tiled},
+				{Scene: name, Layout: blocked8(), Traversal: raster.Traversal{Order: raster.HilbertOrder}},
+			}
+		},
 	})
 	register(Experiment{
 		ID: "compress",
@@ -42,13 +57,22 @@ func init() {
 		Title: "Rendering performance with and without latency hiding " +
 			"(Section 7.1.1)",
 		Run: runLatency,
+		Needs: func(cfg Config) []TraceKey {
+			var keys []TraceKey
+			for _, name := range cfg.sceneList(scenes.Names()...) {
+				keys = append(keys, TraceKey{Scene: name,
+					Layout:    texture.LayoutSpec{Kind: texture.PaddedBlockedKind, BlockW: 8, PadBlocks: 4},
+					Traversal: raster.Traversal{TileW: 8, TileH: 8}})
+			}
+			return keys
+		},
 	})
 }
 
 // runHilbert compares the working-set curves of scanline, tiled and
 // Hilbert traversals. Expected: Hilbert matches or beats tiled at small
 // caches — it is the limit case of recursive tiling.
-func runHilbert(cfg Config, w io.Writer) error {
+func runHilbert(ctx context.Context, cfg Config, w io.Writer) error {
 	name := "guitar"
 	if len(cfg.Scenes) > 0 {
 		name = cfg.Scenes[0]
@@ -67,7 +91,7 @@ func runHilbert(cfg Config, w io.Writer) error {
 		{"tiled 8x8", raster.Traversal{Order: s.DefaultOrder, TileW: 8, TileH: 8}},
 		{"hilbert", raster.Traversal{Order: raster.HilbertOrder}},
 	} {
-		tr, _, err := s.Trace(blocked8(), tc.trav)
+		tr, err := traceScene(ctx, cfg, name, blocked8(), tc.trav)
 		if err != nil {
 			return err
 		}
@@ -83,7 +107,7 @@ func runHilbert(cfg Config, w io.Writer) error {
 // runCompress compares blocked uncompressed against 4:1 compressed
 // texture memory: the compressed line covers four times the texels, so
 // both the miss rate and the bytes per miss drop.
-func runCompress(cfg Config, w io.Writer) error {
+func runCompress(ctx context.Context, cfg Config, w io.Writer) error {
 	model := perf.Default()
 	fmt.Fprintf(w, "%-8s %-12s %12s %12s %14s\n",
 		"scene", "layout", "miss rate", "MB/frame", "MB/s @50Mf/s")
@@ -96,7 +120,7 @@ func runCompress(cfg Config, w io.Writer) error {
 			{Kind: texture.BlockedKind, BlockW: 8},
 			{Kind: texture.CompressedKind, BlockW: 8, Ratio: 4},
 		} {
-			tr, _, err := s.Trace(spec, s.DefaultTraversal())
+			tr, err := traceScene(ctx, cfg, name, spec, s.DefaultTraversal())
 			if err != nil {
 				return err
 			}
@@ -117,7 +141,7 @@ func runCompress(cfg Config, w io.Writer) error {
 // runParallel evaluates image-space work partitions for 1-8 fragment
 // generators, each with a private 32KB 2-way cache over a shared texture
 // memory: load imbalance vs aggregate miss traffic.
-func runParallel(cfg Config, w io.Writer) error {
+func runParallel(ctx context.Context, cfg Config, w io.Writer) error {
 	name := "town"
 	if len(cfg.Scenes) > 0 {
 		name = cfg.Scenes[0]
@@ -138,6 +162,9 @@ func runParallel(cfg Config, w io.Writer) error {
 			if n == 1 && p != parallel.StripPartition {
 				continue // all partitions are identical with one FG
 			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			res, err := parallel.Run(s, p, n, 8, layout, cc)
 			if err != nil {
 				return err
@@ -154,12 +181,12 @@ func runParallel(cfg Config, w io.Writer) error {
 // runLatency quantifies Section 7.1.1: how far below the 50M fragments/s
 // peak an un-hidden ~50-cycle miss latency drags each scene, versus the
 // prefetching dual-rasterizer design that hides it.
-func runLatency(cfg Config, w io.Writer) error {
+func runLatency(ctx context.Context, cfg Config, w io.Writer) error {
 	model := perf.Default()
 	fmt.Fprintf(w, "%-8s %10s %16s %16s %8s\n",
 		"scene", "miss rate", "stalled Mfrag/s", "hidden Mfrag/s", "slowdown")
 	for _, name := range cfg.sceneList(scenes.Names()...) {
-		tr, err := traceScene(cfg, name,
+		tr, err := traceScene(ctx, cfg, name,
 			texture.LayoutSpec{Kind: texture.PaddedBlockedKind, BlockW: 8, PadBlocks: 4},
 			raster.Traversal{TileW: 8, TileH: 8})
 		if err != nil {

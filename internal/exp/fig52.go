@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,6 +17,17 @@ func init() {
 		Title: "Miss rate vs cache size, base nonblocked representation, " +
 			"fully associative, 32B lines, horizontal and vertical rasterization",
 		Run: runFig52,
+		Needs: func(cfg Config) []TraceKey {
+			var keys []TraceKey
+			layout := texture.LayoutSpec{Kind: texture.NonBlockedKind}
+			for _, dir := range []raster.Order{raster.RowMajor, raster.ColumnMajor} {
+				for _, name := range cfg.sceneList(scenes.Names()...) {
+					keys = append(keys, TraceKey{Scene: name, Layout: layout,
+						Traversal: raster.Traversal{Order: dir}})
+				}
+			}
+			return keys
+		},
 	})
 }
 
@@ -25,13 +37,13 @@ func init() {
 // floors of 0.55-2.8%, and the Town scene's working set doubling under
 // vertical rasterization because its upright textures are then traversed
 // against the row-major storage order.
-func runFig52(cfg Config, w io.Writer) error {
+func runFig52(ctx context.Context, cfg Config, w io.Writer) error {
 	layout := texture.LayoutSpec{Kind: texture.NonBlockedKind}
 	for _, dir := range []raster.Order{raster.RowMajor, raster.ColumnMajor} {
 		fmt.Fprintf(w, "--- (%s rasterization) ---\n", dir)
 		printCurveHeader(w, "scene")
 		for _, name := range cfg.sceneList(scenes.Names()...) {
-			tr, err := traceScene(cfg, name, layout, raster.Traversal{Order: dir})
+			tr, err := traceScene(ctx, cfg, name, layout, raster.Traversal{Order: dir})
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,7 +43,7 @@ var fig54Blocks = []int{1, 2, 4, 8, 16}
 // conclusion: the best block size matches the cache line size
 // (a 4x4x4B = 64B block for a 64B line, 8x8 for 128B), and growing the
 // line without blocking makes things worse.
-func runFig54(cfg Config, w io.Writer) error {
+func runFig54(ctx context.Context, cfg Config, w io.Writer) error {
 	const cacheSize = 32 << 10
 	for _, sc := range []struct {
 		name string
@@ -62,7 +63,7 @@ func runFig54(cfg Config, w io.Writer) error {
 			if bw == 1 {
 				spec = texture.LayoutSpec{Kind: texture.NonBlockedKind}
 			}
-			tr, err := traceScene(cfg, sc.name, spec, raster.Traversal{Order: sc.dir})
+			tr, err := traceScene(ctx, cfg, sc.name, spec, raster.Traversal{Order: sc.dir})
 			if err != nil {
 				return err
 			}
@@ -85,7 +86,7 @@ func runFig54(cfg Config, w io.Writer) error {
 // Expected shape: miss rates fall substantially from 32B to 128B lines
 // (flight 2.8%->0.87%, goblet 1.5%->0.41%, guitar 1.2%->0.36%,
 // town 0.8%->0.21%).
-func runFig55(cfg Config, w io.Writer) error {
+func runFig55(ctx context.Context, cfg Config, w io.Writer) error {
 	const cacheSize = 32 << 10
 	blocks := []int{2, 4, 8, 16} // 16B..1KB lines
 	fmt.Fprintf(w, "%-10s", "scene")
@@ -100,8 +101,8 @@ func runFig55(cfg Config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%-10s", name)
 		for _, bw := range blocks {
-			tr, _, err := s.Trace(texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: bw},
-				s.DefaultTraversal())
+			tr, err := traceScene(ctx, cfg, name,
+				texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: bw}, s.DefaultTraversal())
 			if err != nil {
 				return err
 			}
@@ -119,7 +120,7 @@ func runFig55(cfg Config, w io.Writer) error {
 // runFig56 reproduces Figure 5.6: the blocked representation with larger
 // matched line/block sizes reduces capacity misses even for caches
 // smaller than the working set (Guitar scene).
-func runFig56(cfg Config, w io.Writer) error {
+func runFig56(ctx context.Context, cfg Config, w io.Writer) error {
 	name := "guitar"
 	if len(cfg.Scenes) > 0 {
 		name = cfg.Scenes[0]
@@ -130,8 +131,8 @@ func runFig56(cfg Config, w io.Writer) error {
 	}
 	printCurveHeader(w, name+" line/block")
 	for _, bw := range []int{2, 4, 8, 16} {
-		tr, _, err := s.Trace(texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: bw},
-			s.DefaultTraversal())
+		tr, err := traceScene(ctx, cfg, name,
+			texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: bw}, s.DefaultTraversal())
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -15,12 +16,27 @@ func init() {
 		Title: "Effect of cache associativity on conflict misses " +
 			"(8x8 blocks, 128B lines; Goblet-horizontal, Town-vertical)",
 		Run: runFig57,
+		Needs: func(cfg Config) []TraceKey {
+			var keys []TraceKey
+			for _, sc := range fig57Scenes {
+				if containsScene(cfg, sc.name) {
+					keys = append(keys, TraceKey{Scene: sc.name, Layout: blocked8(),
+						Traversal: raster.Traversal{Order: sc.dir}})
+				}
+			}
+			return keys
+		},
 	})
 	register(Experiment{
 		ID: "fig5.7nb",
 		Title: "Associativity needed without blocking (Goblet, nonblocked " +
 			"representation, 128B lines)",
 		Run: runFig57NB,
+		Needs: func(cfg Config) []TraceKey {
+			return []TraceKey{{Scene: "goblet",
+				Layout:    texture.LayoutSpec{Kind: texture.NonBlockedKind},
+				Traversal: raster.Traversal{Order: raster.RowMajor}}}
+		},
 	})
 }
 
@@ -39,17 +55,31 @@ func assocLabel(ways int) string {
 	}
 }
 
-// runAssocSweep prints miss rate vs cache size for each associativity.
-func runAssocSweep(w io.Writer, tr *cache.Trace, lineBytes int) {
+// fig57Scenes pairs each figure panel with its rasterization direction.
+var fig57Scenes = []struct {
+	name string
+	dir  raster.Order
+}{{"goblet", raster.RowMajor}, {"town", raster.ColumnMajor}}
+
+// runAssocSweep prints miss rate vs cache size for each associativity,
+// replaying the trace through the whole (ways x size) grid in one
+// concurrent pass.
+func runAssocSweep(ctx context.Context, w io.Writer, tr *cache.Trace, lineBytes int) error {
+	var cfgs []cache.Config
 	for _, ways := range assocWays {
-		rates := make([]float64, 0, len(curveSizes()))
 		for _, size := range curveSizes() {
-			c := cache.New(cache.Config{SizeBytes: size, LineBytes: lineBytes, Ways: ways})
-			tr.Replay(c.Sink())
-			rates = append(rates, c.Stats().MissRate())
+			cfgs = append(cfgs, cache.Config{SizeBytes: size, LineBytes: lineBytes, Ways: ways})
 		}
-		printCurve(w, assocLabel(ways), rates)
 	}
+	rates, err := tr.MissRatesConcurrent(ctx, cfgs)
+	if err != nil {
+		return err
+	}
+	per := len(curveSizes())
+	for i, ways := range assocWays {
+		printCurve(w, assocLabel(ways), rates[i*per:(i+1)*per])
+	}
+	return nil
 }
 
 // runFig57 reproduces Figure 5.7. Expected shapes: for Goblet, direct
@@ -58,22 +88,21 @@ func runAssocSweep(w io.Writer, tr *cache.Trace, lineBytes int) {
 // most two); for Town-vertical, a gap remains between 2-way and fully
 // associative because vertically-traversed upright textures conflict
 // between blocks within one 2D array.
-func runFig57(cfg Config, w io.Writer) error {
+func runFig57(ctx context.Context, cfg Config, w io.Writer) error {
 	const lineBytes = 128
-	for _, sc := range []struct {
-		name string
-		dir  raster.Order
-	}{{"goblet", raster.RowMajor}, {"town", raster.ColumnMajor}} {
+	for _, sc := range fig57Scenes {
 		if !containsScene(cfg, sc.name) {
 			continue
 		}
-		tr, err := traceScene(cfg, sc.name, blocked8(), raster.Traversal{Order: sc.dir})
+		tr, err := traceScene(ctx, cfg, sc.name, blocked8(), raster.Traversal{Order: sc.dir})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "--- %s (%s), blocked 8x8, 128B lines ---\n", sc.name, sc.dir)
 		printCurveHeader(w, "associativity")
-		runAssocSweep(w, tr, lineBytes)
+		if err := runAssocSweep(ctx, w, tr, lineBytes); err != nil {
+			return err
+		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w, "paper: goblet 2-way == fully associative; town keeps a 2-way vs FA gap")
@@ -84,15 +113,17 @@ func runFig57(cfg Config, w io.Writer) error {
 // the Goblet scene needs eight-way associativity to match the fully
 // associative miss rates at small cache sizes (neighboring rows of the
 // power-of-two-wide arrays conflict).
-func runFig57NB(cfg Config, w io.Writer) error {
-	tr, err := traceScene(cfg, "goblet",
+func runFig57NB(ctx context.Context, cfg Config, w io.Writer) error {
+	tr, err := traceScene(ctx, cfg, "goblet",
 		texture.LayoutSpec{Kind: texture.NonBlockedKind}, raster.Traversal{Order: raster.RowMajor})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "--- goblet (horizontal), NONBLOCKED, 128B lines ---")
 	printCurveHeader(w, "associativity")
-	runAssocSweep(w, tr, 128)
+	if err := runAssocSweep(ctx, w, tr, 128); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\npaper: with the nonblocked representation an 8-way cache is required to")
 	fmt.Fprintln(w, "match fully-associative miss rates among the small cache sizes")
 	return nil

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,7 +26,7 @@ var fig62Tiles = []int{0, 2, 4, 8, 16, 32, 64, 128, 256}
 // misses for caches that previously couldn't hold the working set; tiny
 // tiles converge to the untiled pattern; huge tiles overflow the cache
 // again.
-func runFig62(cfg Config, w io.Writer) error {
+func runFig62(ctx context.Context, cfg Config, w io.Writer) error {
 	name := "guitar"
 	if len(cfg.Scenes) > 0 {
 		name = cfg.Scenes[0]
@@ -38,7 +39,7 @@ func runFig62(cfg Config, w io.Writer) error {
 	printCurveHeader(w, "tile")
 	for _, tile := range fig62Tiles {
 		trav := raster.Traversal{Order: s.DefaultOrder, TileW: tile, TileH: tile}
-		tr, _, err := s.Trace(blocked8(), trav)
+		tr, err := traceScene(ctx, cfg, name, blocked8(), trav)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -35,7 +36,7 @@ func fig64Specs(cacheSize int) []texture.LayoutSpec {
 // blocked representations. Expected shapes: tiling alone sharply cuts
 // block conflicts for Town; Flight's large terrain textures also need
 // padding or 6D blocking before the conflicts subside.
-func runFig64(cfg Config, w io.Writer) error {
+func runFig64(ctx context.Context, cfg Config, w io.Writer) error {
 	const lineBytes = 128
 	for _, sc := range []struct {
 		name string
@@ -74,7 +75,7 @@ func runFig64(cfg Config, w io.Writer) error {
 			var tr *cache.Trace
 			if !sixD {
 				var err error
-				if tr, err = traceScene(cfg, sc.name, v.spec, trav); err != nil {
+				if tr, err = traceScene(ctx, cfg, sc.name, v.spec, trav); err != nil {
 					return err
 				}
 			}
@@ -83,7 +84,7 @@ func runFig64(cfg Config, w io.Writer) error {
 				if sixD {
 					spec := texture.LayoutSpec{Kind: texture.SixDBlockedKind, BlockW: 8, SuperBytes: size}
 					var err error
-					if tr, err = traceScene(cfg, sc.name, spec, trav); err != nil {
+					if tr, err = traceScene(ctx, cfg, sc.name, spec, trav); err != nil {
 						return err
 					}
 				}
@@ -97,7 +98,7 @@ func runFig64(cfg Config, w io.Writer) error {
 		// Fully-associative floor for reference (conflict-free).
 		fmt.Fprintf(w, "%-34s", "tiled 8x8 blocked FA floor")
 		trav := raster.Traversal{Order: sc.dir, TileW: 8, TileH: 8}
-		tr, err := traceScene(cfg, sc.name, texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8}, trav)
+		tr, err := traceScene(ctx, cfg, sc.name, texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8}, trav)
 		if err != nil {
 			return err
 		}

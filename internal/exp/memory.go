@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,7 +43,7 @@ func init() {
 // the page-hit rate (denser fills) and the bus utilization (longer
 // bursts amortize the activate/precharge setup) — the Section 3.2
 // argument for cache-line block transfers.
-func runDRAM(cfg Config, w io.Writer) error {
+func runDRAM(ctx context.Context, cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %6s %10s %10s %10s %12s\n",
 		"scene", "line", "fills", "page-hit", "bus-util", "eff MB/s")
 	for _, name := range cfg.sceneList(scenes.Names()...) {
@@ -51,6 +52,9 @@ func runDRAM(cfg Config, w io.Writer) error {
 			return err
 		}
 		for _, line := range []int{32, 64, 128, 256} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			bw := 8
 			if line < 256 {
 				bw = line / (4 * texture.TexelBytes) // block matched to line
@@ -94,7 +98,7 @@ func maxInt(a, b int) int {
 // each scene, reporting the sustained fragment rate. Expected shape:
 // rate climbs with depth until either the 50M/s compute peak or the
 // memory bandwidth bound is reached.
-func runPrefetch(cfg Config, w io.Writer) error {
+func runPrefetch(ctx context.Context, cfg Config, w io.Writer) error {
 	depths := []int{0, 2, 8, 32, 128, 512}
 	fmt.Fprintf(w, "%-8s", "scene")
 	for _, d := range depths {
@@ -102,7 +106,7 @@ func runPrefetch(cfg Config, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "    (Mfragments/s at 100MHz)")
 	for _, name := range cfg.sceneList(scenes.Names()...) {
-		tr, err := traceScene(cfg, name,
+		tr, err := traceScene(ctx, cfg, name,
 			texture.LayoutSpec{Kind: texture.PaddedBlockedKind, BlockW: 8, PadBlocks: 4},
 			raster.Traversal{TileW: 8, TileH: 8})
 		if err != nil {
@@ -130,7 +134,7 @@ func runPrefetch(cfg Config, w io.Writer) error {
 // texture footprint the second frame gains nothing (the paper's stated
 // reason for studying single frames); once the cache approaches the
 // footprint, frame two becomes nearly free.
-func runInterframe(cfg Config, w io.Writer) error {
+func runInterframe(ctx context.Context, cfg Config, w io.Writer) error {
 	const dt = 1.0 / 30 // one frame of 30Hz motion
 	sizes := []int{32 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
 	fmt.Fprintf(w, "%-8s %10s", "scene", "footprint")
@@ -143,9 +147,14 @@ func runInterframe(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		spec := texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8}
-		// Record both frames' traces once.
-		tr0, r0, err := s.Trace(spec, s.DefaultTraversal())
+		// Record both frames' traces once. Frame zero routes through the
+		// shared provider; the t=dt frame is keyed by time, so it renders
+		// privately.
+		tr0, err := traceScene(ctx, cfg, name, spec, s.DefaultTraversal())
 		if err != nil {
 			return err
 		}
@@ -155,7 +164,6 @@ func runInterframe(cfg Config, w io.Writer) error {
 		}); err != nil {
 			return err
 		}
-		_ = r0
 		sd := cache.NewStackDist(128)
 		tr0.Replay(sd)
 		footprint := sd.DistinctLines() * 128

@@ -1,12 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/perf"
-	"texcache/internal/raster"
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
 )
@@ -17,6 +17,19 @@ func init() {
 		Title: "Memory bandwidth requirements (MB/s) at 50M textured " +
 			"fragments/s, blocked+padded layout, 8x8-pixel tiled rasterization",
 		Run: runTable71,
+		Needs: func(cfg Config) []TraceKey {
+			var keys []TraceKey
+			for _, name := range cfg.sceneList(scenes.Names()...) {
+				trav := defaultTraversalFor(name)
+				trav.TileW, trav.TileH = 8, 8
+				for _, bw := range []int{4, 8} {
+					keys = append(keys, TraceKey{Scene: name,
+						Layout:    texture.LayoutSpec{Kind: texture.PaddedBlockedKind, BlockW: bw, PadBlocks: 4},
+						Traversal: trav})
+				}
+			}
+			return keys
+		},
 	})
 	register(Experiment{
 		ID:    "banks",
@@ -51,7 +64,7 @@ func table71Cols() []table71Col {
 // runTable71 reproduces Table 7.1: memory bandwidth in MB/s (miss rate in
 // parentheses) for each scene and cache configuration, using the padded
 // blocked representation and 8x8-pixel tiled rasterization.
-func runTable71(cfg Config, w io.Writer) error {
+func runTable71(ctx context.Context, cfg Config, w io.Writer) error {
 	model := perf.Default()
 	cols := table71Cols()
 
@@ -67,26 +80,34 @@ func runTable71(cfg Config, w io.Writer) error {
 	fmt.Fprintln(w)
 
 	for _, name := range cfg.sceneList(scenes.Names()...) {
-		s, err := buildScene(cfg, name)
-		if err != nil {
-			return err
-		}
-		trav := raster.Traversal{Order: s.DefaultOrder, TileW: 8, TileH: 8}
-		// One trace per block size; the cache sweep replays them.
-		traces := map[int]*cache.Trace{}
+		trav := defaultTraversalFor(name)
+		trav.TileW, trav.TileH = 8, 8
+		// One trace per block size; each trace replays its columns in a
+		// single concurrent pass.
+		rates := map[int][]float64{} // blockW -> per-column miss rate (nil entries elsewhere)
 		for _, bw := range []int{4, 8} {
 			spec := texture.LayoutSpec{Kind: texture.PaddedBlockedKind, BlockW: bw, PadBlocks: 4}
-			tr, _, err := s.Trace(spec, trav)
+			tr, err := traceScene(ctx, cfg, name, spec, trav)
 			if err != nil {
 				return err
 			}
-			traces[bw] = tr
+			var cfgs []cache.Config
+			for _, col := range cols {
+				if col.blockW == bw {
+					cfgs = append(cfgs, cache.Config{SizeBytes: col.cacheSize, LineBytes: col.lineBytes, Ways: col.ways})
+				}
+			}
+			r, err := tr.MissRatesConcurrent(ctx, cfgs)
+			if err != nil {
+				return err
+			}
+			rates[bw] = r
 		}
+		next := map[int]int{}
 		fmt.Fprintf(w, "%-8s", name)
 		for _, col := range cols {
-			c := cache.New(cache.Config{SizeBytes: col.cacheSize, LineBytes: col.lineBytes, Ways: col.ways})
-			traces[col.blockW].Replay(c.Sink())
-			mr := c.Stats().MissRate()
+			mr := rates[col.blockW][next[col.blockW]]
+			next[col.blockW]++
 			bwMBps := model.BandwidthBytesPerSecond(mr, col.lineBytes) / 1e6
 			fmt.Fprintf(w, "%16s", fmt.Sprintf("%.0f (%.2f)", bwMBps, 100*mr))
 		}
@@ -100,9 +121,12 @@ func runTable71(cfg Config, w io.Writer) error {
 // runBanks reproduces the Section 7.1.2 analysis: with texels morton-
 // interleaved across four banks, every bilinear footprint reads in one
 // cycle; linear interleaving conflicts on power-of-two strides.
-func runBanks(cfg Config, w io.Writer) error {
+func runBanks(ctx context.Context, cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %16s %16s %9s\n", "scene", "morton cyc/quad", "linear cyc/quad", "speedup")
 	for _, name := range cfg.sceneList(scenes.Names()...) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s, err := buildScene(cfg, name)
 		if err != nil {
 			return err

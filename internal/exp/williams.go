@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,7 +34,7 @@ func (b *bankAnalyzer) Speedup() float64             { return b.a.Speedup() }
 // nonblocked representation: the component planes separated by powers of
 // two bytes triple the access count and collide in low-associativity
 // caches, which is why Section 5.1 rejects it as the baseline.
-func runWilliams(cfg Config, w io.Writer) error {
+func runWilliams(ctx context.Context, cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %-12s %10s %12s %12s %12s\n",
 		"scene", "layout", "accesses", "DM miss%", "2-way miss%", "FA miss%")
 	for _, name := range cfg.sceneList("goblet", "guitar") {
@@ -45,15 +46,17 @@ func runWilliams(cfg Config, w io.Writer) error {
 			{Kind: texture.NonBlockedKind},
 			{Kind: texture.WilliamsKind},
 		} {
-			tr, _, err := s.Trace(spec, s.DefaultTraversal())
+			tr, err := traceScene(ctx, cfg, name, spec, s.DefaultTraversal())
 			if err != nil {
 				return err
 			}
-			row := make([]float64, 0, 3)
+			var cfgs []cache.Config
 			for _, ways := range []int{1, 2, 0} {
-				c := cache.New(cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: ways})
-				tr.Replay(c.Sink())
-				row = append(row, c.Stats().MissRate())
+				cfgs = append(cfgs, cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: ways})
+			}
+			row, err := tr.MissRatesConcurrent(ctx, cfgs)
+			if err != nil {
+				return err
 			}
 			fmt.Fprintf(w, "%-8s %-12s %10d %11.2f%% %11.2f%% %11.2f%%\n",
 				name, spec.Kind, tr.Len(), 100*row[0], 100*row[1], 100*row[2])

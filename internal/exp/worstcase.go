@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -31,7 +32,7 @@ func init() {
 // scanline streams down texture columns, and the working set approaches
 // the analytic bound of line size x screen height; 45 degrees lands
 // between. A blocked reference shows the orientation dependence vanish.
-func runWorstCase(cfg Config, w io.Writer) error {
+func runWorstCase(ctx context.Context, cfg Config, w io.Writer) error {
 	screen := 1024 / cfg.scale()
 	if screen < 64 {
 		screen = 64
@@ -56,6 +57,9 @@ func runWorstCase(cfg Config, w io.Writer) error {
 		fmt.Fprintf(w, "--- %s representation ---\n", spec.Kind)
 		printCurveHeader(w, "texture angle")
 		for _, deg := range []float64{0, 45, 90} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			tr, err := traceRotatedQuad(screen, ts, deg, spec)
 			if err != nil {
 				return err
