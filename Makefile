@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and every PR) must keep green.
-.PHONY: ci vet build test bench
+.PHONY: ci vet build staticcheck test golden bench
 
-ci: vet build test
+ci: vet build staticcheck test
 
 vet:
 	go vet ./...
@@ -9,8 +9,27 @@ vet:
 build:
 	go build ./...
 
+# staticcheck is optional tooling: run it when installed, skip with a
+# notice otherwise so CI works on toolchain-only machines.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
+	fi
+
+# The race leg skips the golden sweep (build-tag gated: byte-identity
+# gains nothing from the race detector and costs ~10x); the golden leg
+# reruns it without -race.
 test:
 	go test -race ./...
+	$(MAKE) golden
 
+golden:
+	go test -count=1 -run TestGoldenExperimentOutputs .
+
+# bench runs the engine-focused benchmark set and writes the parsed
+# results to BENCH_engine.json for regression tracking.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist' \
+		-benchmem -count 1 . | go run ./cmd/benchjson -o BENCH_engine.json

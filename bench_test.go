@@ -130,7 +130,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 // gobletTrace renders the Goblet benchmark once and returns its trace.
 func gobletTrace(b *testing.B) *texcache.Trace {
 	b.Helper()
-	s := texcache.SceneByName("goblet", benchScale())
+	s := mustScene(b, "goblet", benchScale())
 	tr, _, err := s.Trace(texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8},
 		s.DefaultTraversal())
 	if err != nil {
@@ -143,7 +143,10 @@ func gobletTrace(b *testing.B) *texcache.Trace {
 // through a 32KB 2-way cache.
 func BenchmarkCacheAccess(b *testing.B) {
 	tr := gobletTrace(b)
-	c := texcache.NewCache(texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	c, err := texcache.NewCache(texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	n := 0
 	for i := 0; i < b.N; i++ {
@@ -158,7 +161,10 @@ func BenchmarkCacheAccess(b *testing.B) {
 // BenchmarkCacheAccessClassifying measures the 3C-classification slowdown.
 func BenchmarkCacheAccessClassifying(b *testing.B) {
 	tr := gobletTrace(b)
-	c := texcache.NewClassifyingCache(texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	c, err := texcache.NewClassifyingCache(texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	n := 0
 	for i := 0; i < b.N; i++ {
@@ -188,7 +194,7 @@ func BenchmarkStackDist(b *testing.B) {
 // BenchmarkRenderFrame measures full-pipeline frame rendering (fragments
 // per second is the metric the Section 7 machine model cares about).
 func BenchmarkRenderFrame(b *testing.B) {
-	s := texcache.SceneByName("goblet", benchScale())
+	s := mustScene(b, "goblet", benchScale())
 	b.ResetTimer()
 	var frags uint64
 	for i := 0; i < b.N; i++ {

@@ -12,6 +12,15 @@
 //	texsim -list
 //	texsim -exp fig5.2 -scale 2
 //	texsim -exp all -scale 4 -scenes town,guitar -workers 8
+//	texsim -exp table7.1 -json            # NDJSON rows on stdout
+//	texsim -exp all -metrics :8080        # expvar + pprof while running
+//
+// -json emits each experiment's tables as newline-delimited JSON objects
+// (one per row/note, each stamped with its experiment ID) instead of the
+// fixed-width text. -metrics serves /debug/vars and /debug/pprof on the
+// given address for the duration of the run; pass :0 to pick a free
+// port, printed on stderr. A summary of the run's metrics (experiments,
+// renders, replayed addresses, timings) is printed to stderr at exit.
 //
 // SIGINT / SIGTERM cancel the batch; experiments stop between frames.
 package main
@@ -36,11 +45,14 @@ func main() {
 
 func run() int {
 	var (
-		id      = flag.String("exp", "", "experiment ID, comma-separated list, or 'all'")
-		scale   = flag.Int("scale", 2, "resolution divisor (1 = the paper's full size)")
-		list    = flag.Bool("list", false, "list available experiments")
-		scenes  = flag.String("scenes", "", "comma-separated scene subset (default: each experiment's own)")
-		workers = flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+		id       = flag.String("exp", "", "experiment ID, comma-separated list, or 'all'")
+		scale    = flag.Int("scale", 2, "resolution divisor (1 = the paper's full size)")
+		list     = flag.Bool("list", false, "list available experiments")
+		scenes   = flag.String("scenes", "", "comma-separated scene subset (default: each experiment's own)")
+		workers  = flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit NDJSON rows on stdout instead of text tables")
+		metrics  = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address (e.g. :8080, :0)")
+		progress = flag.Bool("progress", false, "print per-experiment completion lines on stderr")
 	)
 	flag.Parse()
 
@@ -53,6 +65,21 @@ func run() int {
 			return 2
 		}
 		return 0
+	}
+
+	// The CLI always collects metrics (the library itself stays no-op
+	// unless attached); -metrics additionally serves them live.
+	reg := texcache.NewMetricsRegistry()
+	texcache.AttachMetrics(reg)
+	defer texcache.DetachMetrics()
+	if *metrics != "" {
+		texcache.PublishMetricsExpvar("texcache", reg)
+		srv, ln, err := texcache.ServeMetrics(*metrics)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "texsim: metrics at http://%s/debug/vars\n", ln.Addr())
 	}
 
 	cfg := texcache.ExperimentConfig{Scale: *scale}
@@ -68,8 +95,20 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	opts := []texcache.ExperimentOption{texcache.WithWorkers(*workers)}
+	if *progress {
+		opts = append(opts, texcache.WithProgress(func(p texcache.ExperimentProgress) {
+			status := "ok"
+			if p.Err != nil {
+				status = p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "texsim: [%d/%d] %s %v (%s)\n",
+				p.Completed, p.Total, p.ID, p.Elapsed.Round(time.Millisecond), status)
+		}))
+	}
+
 	start := time.Now()
-	results, err := texcache.RunExperiments(ctx, ids, cfg, texcache.WithWorkers(*workers))
+	results, err := texcache.RunExperiments(ctx, ids, cfg, opts...)
 	if err != nil {
 		return fail(err)
 	}
@@ -83,6 +122,25 @@ func run() int {
 	next := 0
 	var firstErr error
 	flush := func(r texcache.ExperimentResult) {
+		if *jsonOut {
+			// Pure NDJSON on stdout: replay the recorded report through a
+			// JSON reporter stamping every line with the experiment ID.
+			if r.Report != nil {
+				jr := texcache.NewJSONReporter(os.Stdout)
+				jr.Exp = r.ID
+				r.Report.Replay(jr)
+				if err := jr.Err(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "texsim: %s: %v\n", r.ID, r.Err)
+				if firstErr == nil {
+					firstErr = r.Err
+				}
+			}
+			return
+		}
 		fmt.Printf("=== %s: %s (scale %d) ===\n", r.ID, r.Title, *scale)
 		os.Stdout.WriteString(r.Output)
 		if r.Err != nil {
@@ -106,10 +164,13 @@ func run() int {
 			flush(r)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "texsim: summary: %s\n", reg.SummaryLine())
 	if firstErr != nil {
 		return fail(firstErr)
 	}
-	fmt.Printf("=== %d experiments in %v ===\n", len(ids), time.Since(start).Round(time.Millisecond))
+	if !*jsonOut {
+		fmt.Printf("=== %d experiments in %v ===\n", len(ids), time.Since(start).Round(time.Millisecond))
+	}
 	return 0
 }
 
@@ -119,6 +180,7 @@ func fail(err error) int {
 	var (
 		ce *texcache.ConfigError
 		ue *texcache.UnknownExperimentError
+		se *texcache.UnknownSceneError
 	)
 	switch {
 	case errors.As(err, &ce):
@@ -128,6 +190,9 @@ func fail(err error) int {
 		return 1
 	case errors.As(err, &ue):
 		fmt.Fprintf(os.Stderr, "texsim: unknown experiment %q; try -list\n", ue.ID)
+		return 2
+	case errors.As(err, &se):
+		fmt.Fprintf(os.Stderr, "texsim: unknown scene %q (want flight, town, guitar or goblet)\n", se.Name)
 		return 2
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "texsim: interrupted")

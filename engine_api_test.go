@@ -30,7 +30,10 @@ func sweep8() []texcache.CacheConfig {
 // scenes, eight configurations each.
 func TestConcurrentSweepMatchesSerial(t *testing.T) {
 	for _, name := range []string{"goblet", "town"} {
-		s := texcache.SceneByName(name, 8)
+		s, err := texcache.SceneByNameChecked(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
 		tr, _, err := s.Trace(texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8},
 			s.DefaultTraversal())
 		if err != nil {
@@ -135,8 +138,7 @@ func TestRunExperimentContextCancelled(t *testing.T) {
 }
 
 // TestCheckedConstructors covers the error-returning constructor family:
-// every invalid configuration comes back as a *ConfigError, and the
-// deprecated panicking wrappers still panic.
+// every invalid configuration comes back as a *ConfigError.
 func TestCheckedConstructors(t *testing.T) {
 	bad := []texcache.CacheConfig{
 		{SizeBytes: 0, LineBytes: 32, Ways: 1},        // zero size
@@ -145,11 +147,11 @@ func TestCheckedConstructors(t *testing.T) {
 	}
 	for _, cfg := range bad {
 		var ce *texcache.ConfigError
-		if _, err := texcache.NewCacheChecked(cfg); !errors.As(err, &ce) {
-			t.Errorf("NewCacheChecked(%+v) = %v, want *ConfigError", cfg, err)
+		if _, err := texcache.NewCache(cfg); !errors.As(err, &ce) {
+			t.Errorf("NewCache(%+v) = %v, want *ConfigError", cfg, err)
 		}
-		if _, err := texcache.NewClassifyingCacheChecked(cfg); !errors.As(err, &ce) {
-			t.Errorf("NewClassifyingCacheChecked(%+v) = %v, want *ConfigError", cfg, err)
+		if _, err := texcache.NewClassifyingCache(cfg); !errors.As(err, &ce) {
+			t.Errorf("NewClassifyingCache(%+v) = %v, want *ConfigError", cfg, err)
 		}
 		if _, err := texcache.NewSectoredCache(cfg, 32); !errors.As(err, &ce) {
 			t.Errorf("NewSectoredCache(%+v) = %v, want *ConfigError", cfg, err)
@@ -157,23 +159,31 @@ func TestCheckedConstructors(t *testing.T) {
 	}
 
 	good := texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2}
-	c, err := texcache.NewCacheChecked(good)
+	c, err := texcache.NewCache(good)
 	if err != nil || c == nil {
-		t.Fatalf("NewCacheChecked(valid) = %v, %v", c, err)
+		t.Fatalf("NewCache(valid) = %v, %v", c, err)
 	}
-	cc, err := texcache.NewClassifyingCacheChecked(good)
+	cc, err := texcache.NewClassifyingCache(good)
 	if err != nil || cc == nil {
-		t.Fatalf("NewClassifyingCacheChecked(valid) = %v, %v", cc, err)
+		t.Fatalf("NewClassifyingCache(valid) = %v, %v", cc, err)
 	}
 	cc.Access(0)
 	if s := cc.Stats(); s.Cold != 1 {
 		t.Errorf("checked classifying cache does not classify: %+v", s)
 	}
+}
 
-	defer func() {
-		if recover() == nil {
-			t.Error("deprecated NewCache stopped panicking on invalid config")
-		}
-	}()
-	texcache.NewCache(bad[0])
+// TestUnknownSceneError covers the typed error from the checked scene
+// lookup and the deprecated nil-returning wrapper.
+func TestUnknownSceneError(t *testing.T) {
+	var ue *texcache.UnknownSceneError
+	if _, err := texcache.SceneByNameChecked("nope", 1); !errors.As(err, &ue) || ue.Name != "nope" {
+		t.Fatalf("SceneByNameChecked(nope) err = %v, want *UnknownSceneError{nope}", err)
+	}
+	if s, err := texcache.SceneByNameChecked("goblet", 8); err != nil || s == nil {
+		t.Fatalf("SceneByNameChecked(goblet) = %v, %v", s, err)
+	}
+	if texcache.SceneByName("nope", 1) != nil {
+		t.Error("deprecated SceneByName(nope) != nil")
+	}
 }

@@ -10,7 +10,10 @@ import (
 // address trace through the paper's 32KB 2-way cache, and derives the
 // memory bandwidth at 50M textured fragments per second.
 func Example() {
-	scene := texcache.SceneByName("goblet", 8) // 1/8 resolution for the example
+	scene, err := texcache.SceneByNameChecked("goblet", 8) // 1/8 resolution
+	if err != nil {
+		panic(err)
+	}
 	trace, _, err := scene.Trace(
 		texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8},
 		scene.DefaultTraversal())
@@ -18,7 +21,7 @@ func Example() {
 		panic(err)
 	}
 
-	c, err := texcache.NewClassifyingCacheChecked(texcache.CacheConfig{
+	c, err := texcache.NewClassifyingCache(texcache.CacheConfig{
 		SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
 	if err != nil {
 		panic(err)

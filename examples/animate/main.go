@@ -24,9 +24,12 @@ func main() {
 	)
 	flag.Parse()
 
-	scene := texcache.SceneByName("goblet", *scale)
+	scene, err := texcache.SceneByNameChecked("goblet", *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := texcache.CacheConfig{SizeBytes: *size, LineBytes: 128, Ways: 2}
-	c, err := texcache.NewCacheChecked(cfg)
+	c, err := texcache.NewCache(cfg)
 	if err != nil {
 		log.Fatal(err) // e.g. a -cache value that is not a power of two
 	}

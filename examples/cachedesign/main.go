@@ -34,7 +34,10 @@ func main() {
 	}
 	traces := map[key]*texcache.Trace{}
 	for _, name := range texcache.SceneNames() {
-		scene := texcache.SceneByName(name, *scale)
+		scene, err := texcache.SceneByNameChecked(name, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, bw := range []int{4, 8} {
 			tr, _, err := scene.Trace(
 				texcache.LayoutSpec{Kind: texcache.PaddedBlocked, BlockW: bw, PadBlocks: 4},
@@ -57,7 +60,7 @@ func main() {
 					perScene: map[string]float64{},
 				}
 				for _, name := range texcache.SceneNames() {
-					c, err := texcache.NewCacheChecked(d.cfg)
+					c, err := texcache.NewCache(d.cfg)
 					if err != nil {
 						log.Fatal(err)
 					}

@@ -17,7 +17,10 @@ func main() {
 	scale := flag.Int("scale", 4, "resolution divisor (1 = the paper's 1280x1024)")
 	flag.Parse()
 
-	scene := texcache.SceneByName("flight", *scale)
+	scene, err := texcache.SceneByNameChecked("flight", *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("flight scene: %dx%d, %d triangles, %d textures (%.1f MB)\n",
 		scene.Width, scene.Height, scene.Triangles(), len(scene.Mips),
 		float64(scene.TextureStorageBytes())/(1<<20))
@@ -37,7 +40,7 @@ func main() {
 	fmt.Printf("%-10s %10s %12s %14s %10s\n",
 		"cache", "miss rate", "DRAM MB/s", "vs uncached", "misses")
 	for _, size := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10} {
-		c, err := texcache.NewCacheChecked(texcache.CacheConfig{
+		c, err := texcache.NewCache(texcache.CacheConfig{
 			SizeBytes: size, LineBytes: 128, Ways: 2})
 		if err != nil {
 			log.Fatal(err)

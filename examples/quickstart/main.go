@@ -24,7 +24,7 @@ func main() {
 	// A renderer with a 32KB 2-way cache attached to the texel stream.
 	r := texcache.NewRenderer(512, 512)
 	r.Textures = []*texcache.TextureObject{tex}
-	c, err := texcache.NewClassifyingCacheChecked(texcache.CacheConfig{
+	c, err := texcache.NewClassifyingCache(texcache.CacheConfig{
 		SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
 	if err != nil {
 		log.Fatal(err)

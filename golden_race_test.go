@@ -1,0 +1,10 @@
+//go:build race
+
+package texcache_test
+
+// raceEnabled reports whether this test binary was built with -race.
+// The golden sweep runs every experiment and is ~10x slower under the
+// race detector; byte-identity is a determinism property the race
+// detector cannot strengthen, so the golden test defers to the
+// dedicated non-race leg (see the Makefile test target).
+const raceEnabled = true

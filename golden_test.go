@@ -1,0 +1,82 @@
+package texcache_test
+
+// Golden-output tests: every registered experiment runs at Scale 4 and
+// its text output is compared byte-for-byte against a committed fixture.
+// The fixtures pin the exact output of the text rendering path, so the
+// Reporter abstraction and future refactors cannot silently change what
+// the paper-reproduction tables look like.
+//
+// Regenerate with:
+//
+//	go test -run TestGoldenExperimentOutputs -update .
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"texcache"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment fixtures")
+
+// goldenScale matches claims_test.go: scale 4 keeps every qualitative
+// shape of the paper with margin while staying tractable under -race.
+const goldenScale = 4
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+func TestGoldenExperimentOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-4 sweep of every experiment; skipped in short mode")
+	}
+	if raceEnabled {
+		t.Skip("run without -race (make test's golden leg); byte-identity gains nothing from the race detector")
+	}
+	cfg := texcache.ExperimentConfig{Scale: goldenScale}
+	// One engine batch shares every (scene, layout, traversal) render
+	// across the experiments, which is far cheaper than 25 serial runs.
+	results, err := texcache.RunExperiments(context.Background(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		got[r.ID] = r.Output
+	}
+
+	ids := texcache.ExperimentIDs()
+	if len(got) != len(ids) {
+		t.Fatalf("engine returned %d results, want %d", len(got), len(ids))
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		out := got[id]
+		path := goldenPath(id)
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing fixture (run with -update): %v", id, err)
+		}
+		if out != string(want) {
+			t.Errorf("%s: output differs from %s (regenerate with -update if the change is intended)\ngot:\n%s",
+				id, path, out)
+		}
+	}
+}

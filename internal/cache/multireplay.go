@@ -3,6 +3,9 @@ package cache
 import (
 	"context"
 	"sync"
+	"time"
+
+	"texcache/internal/obs"
 )
 
 // Concurrent multi-configuration replay: one pass over a recorded trace
@@ -43,6 +46,17 @@ func (t *Trace) replayConcurrent(ctx context.Context, chunkLen int, sinks []Sink
 	if chunkLen < 1 {
 		chunkLen = 1
 	}
+	// Metric accounting runs at chunk granularity (one gauge move per
+	// ~16K addresses) and flushes totals after the pass; the per-address
+	// loops stay untouched. backlog is a nil-safe handle: detached, every
+	// update is a single branch.
+	reg := obs.Default()
+	var backlog *obs.Gauge
+	var start time.Time
+	if reg != nil {
+		backlog = reg.Sub("replay").Gauge("backlog_chunks")
+		start = time.Now()
+	}
 	chans := make([]chan []uint64, len(sinks))
 	var wg sync.WaitGroup
 	for i, s := range sinks {
@@ -57,6 +71,7 @@ func (t *Trace) replayConcurrent(ctx context.Context, chunkLen int, sinks []Sink
 					for _, a := range chunk {
 						sd.Access(a)
 					}
+					backlog.Add(-1)
 				}
 				return
 			}
@@ -64,6 +79,7 @@ func (t *Trace) replayConcurrent(ctx context.Context, chunkLen int, sinks []Sink
 				for _, a := range chunk {
 					s.Access(a)
 				}
+				backlog.Add(-1)
 			}
 		}(s, ch)
 	}
@@ -76,6 +92,7 @@ producer:
 		for _, ch := range chans {
 			select {
 			case ch <- chunk:
+				backlog.Add(1)
 			case <-ctx.Done():
 				err = ctx.Err()
 				break producer
@@ -88,6 +105,9 @@ producer:
 	wg.Wait()
 	if err == nil {
 		err = ctx.Err()
+	}
+	if reg != nil && err == nil {
+		flushReplay(reg, start, uint64(t.Len())*uint64(len(sinks)), "concurrent_pass")
 	}
 	return err
 }

@@ -5,6 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
+
+	"texcache/internal/obs"
 )
 
 // Trace records a texel address stream in memory so one rendering pass can
@@ -29,7 +32,16 @@ func (t *Trace) Len() int { return len(t.Addrs) }
 
 // Replay feeds the whole trace to each sink in turn. *StackDist is a Sink;
 // use Cache.Sink to replay into a cache simulator.
+//
+// Metrics are flushed in bulk after the pass (replay.addresses,
+// replay.pass): the per-address loops carry no instrumentation, and with
+// no registry attached the whole accounting reduces to one nil check.
 func (t *Trace) Replay(sinks ...Sink) {
+	reg := obs.Default()
+	var start time.Time
+	if reg != nil {
+		start = time.Now()
+	}
 	for _, s := range sinks {
 		if c, ok := s.(*StackDist); ok {
 			// Direct dispatch keeps the profiler's hot loop free of
@@ -43,12 +55,28 @@ func (t *Trace) Replay(sinks ...Sink) {
 			s.Access(a)
 		}
 	}
+	if reg != nil {
+		flushReplay(reg, start, uint64(t.Len())*uint64(len(sinks)), "pass")
+	}
+}
+
+// flushReplay records one finished replay pass: the address volume (the
+// numerator of addresses/sec) and the wall time under the given timer.
+func flushReplay(reg *obs.Registry, start time.Time, addrs uint64, timer string) {
+	rep := reg.Sub("replay")
+	rep.Counter("addresses").Add(addrs)
+	rep.Timer(timer).ObserveSince(start)
 }
 
 // SimulateConfigs replays the trace through a fresh classifying cache per
 // configuration and returns the resulting statistics, index-aligned with
 // cfgs.
 func (t *Trace) SimulateConfigs(cfgs []Config) []Stats {
+	reg := obs.Default()
+	var start time.Time
+	if reg != nil {
+		start = time.Now()
+	}
 	out := make([]Stats, len(cfgs))
 	for i, cfg := range cfgs {
 		c := NewClassifying(cfg)
@@ -56,6 +84,9 @@ func (t *Trace) SimulateConfigs(cfgs []Config) []Stats {
 			c.Access(a)
 		}
 		out[i] = c.Stats()
+	}
+	if reg != nil {
+		flushReplay(reg, start, uint64(t.Len())*uint64(len(cfgs)), "pass")
 	}
 	return out
 }

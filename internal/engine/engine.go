@@ -9,13 +9,14 @@
 package engine
 
 import (
-	"bytes"
 	"context"
 	"runtime"
 	"sync"
 	"time"
 
 	"texcache/internal/exp"
+	"texcache/internal/obs"
+	"texcache/internal/report"
 )
 
 // Result is one finished experiment. Index is the experiment's position
@@ -25,9 +26,27 @@ type Result struct {
 	Index   int
 	ID      string
 	Title   string
-	Output  string // everything the experiment wrote
+	Output  string // the text rendering of everything the experiment emitted
 	Err     error  // non-nil if the experiment failed or was cancelled
 	Elapsed time.Duration
+	// Report is the recorded structured output, replayable into any
+	// report.Reporter (e.g. report.JSON for machine-readable batches).
+	// Nil when the experiment was skipped before running.
+	Report *report.Recording
+}
+
+// Progress describes one completed (or skipped) experiment within a
+// running batch, for live progress display.
+type Progress struct {
+	// Completed counts experiments finished so far, including this one;
+	// Total is the batch size.
+	Completed, Total int
+	// ID names the experiment that just finished.
+	ID string
+	// Elapsed is its wall time (zero when skipped before running).
+	Elapsed time.Duration
+	// Err is the experiment's error, nil on success.
+	Err error
 }
 
 // Options configures an engine.
@@ -39,6 +58,11 @@ type Options struct {
 	// hook through the worker pool before any experiment starts, so the
 	// first experiments don't serialize on shared renders.
 	Prewarm bool
+	// Progress, when non-nil, is called once per finished experiment.
+	// Calls are serialized and Completed is monotonic, but they arrive in
+	// completion order, not request order. The callback runs on an engine
+	// goroutine and must not block on the result channel.
+	Progress func(Progress)
 }
 
 // Option mutates Options.
@@ -49,6 +73,9 @@ func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
 // WithPrewarm toggles rendering declared traces ahead of the experiments.
 func WithPrewarm(on bool) Option { return func(o *Options) { o.Prewarm = on } }
+
+// WithProgress installs a per-experiment completion callback.
+func WithProgress(fn func(Progress)) Option { return func(o *Options) { o.Progress = fn } }
 
 // Engine schedules experiment batches.
 type Engine struct {
@@ -92,6 +119,32 @@ func (e *Engine) Run(ctx context.Context, ids []string, cfg exp.Config) (<-chan 
 	sem := make(chan struct{}, e.opts.Workers)
 	var wg sync.WaitGroup
 
+	// Engine-level metrics: queue depth (experiments waiting for a
+	// worker slot), busy workers, and a completion counter. All handles
+	// are nil when no registry is attached, making every update a no-op.
+	reg := obs.Default().Sub("engine")
+	queued := reg.Gauge("queue_depth")
+	busy := reg.Gauge("busy_workers")
+	finished := reg.Counter("experiments")
+
+	// progress serializes the completion callback and keeps Completed
+	// monotonic across concurrently finishing experiments.
+	var progressMu sync.Mutex
+	completed := 0
+	progress := func(r Result) {
+		finished.Inc()
+		if e.opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		completed++
+		e.opts.Progress(Progress{
+			Completed: completed, Total: len(exps),
+			ID: r.ID, Elapsed: r.Elapsed, Err: r.Err,
+		})
+	}
+
 	go func() {
 		defer close(out)
 		if e.opts.Prewarm {
@@ -101,17 +154,29 @@ func (e *Engine) Run(ctx context.Context, ids []string, cfg exp.Config) (<-chan 
 			wg.Add(1)
 			go func(i int, ex exp.Experiment) {
 				defer wg.Done()
+				queued.Add(1)
 				select {
 				case sem <- struct{}{}:
-					defer func() { <-sem }()
+					queued.Add(-1)
+					busy.Add(1)
+					defer func() {
+						busy.Add(-1)
+						<-sem
+					}()
 				case <-ctx.Done():
-					out <- Result{Index: i, ID: ex.ID, Title: ex.Title, Err: ctx.Err()}
+					queued.Add(-1)
+					r := Result{Index: i, ID: ex.ID, Title: ex.Title, Err: ctx.Err()}
+					progress(r)
+					out <- r
 					return
 				}
-				out <- runOne(ctx, i, ex, cfg)
+				r := runOne(ctx, i, ex, cfg)
+				progress(r)
+				out <- r
 			}(i, ex)
 		}
 		wg.Wait()
+		obs.Default().Emit("batch.done", "", int64(len(exps)))
 	}()
 	return out, nil
 }
@@ -167,17 +232,23 @@ func (e *Engine) prewarm(ctx context.Context, exps []exp.Experiment, cfg exp.Con
 	wg.Wait()
 }
 
-// runOne executes a single experiment, capturing its output.
+// runOne executes a single experiment, recording its structured output
+// and per-experiment wall time.
 func runOne(ctx context.Context, i int, ex exp.Experiment, cfg exp.Config) Result {
 	r := Result{Index: i, ID: ex.ID, Title: ex.Title}
 	if err := ctx.Err(); err != nil {
 		r.Err = err
 		return r
 	}
-	var buf bytes.Buffer
+	reg := obs.Default()
+	reg.Emit("experiment.start", ex.ID, 0)
+	rec := &report.Recording{}
 	start := time.Now()
-	r.Err = ex.Run(ctx, cfg, &buf)
+	r.Err = ex.Run(ctx, cfg, rec)
 	r.Elapsed = time.Since(start)
-	r.Output = buf.String()
+	r.Report = rec
+	r.Output = rec.Text()
+	reg.Sub("engine").Timer("experiment").Observe(r.Elapsed)
+	reg.Emit("experiment.done", ex.ID, int64(r.Elapsed))
 	return r
 }

@@ -10,6 +10,7 @@ import (
 
 	"texcache/internal/exp"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/texture"
 )
 
@@ -33,7 +34,7 @@ func TestRunMatchesSerial(t *testing.T) {
 			t.Fatalf("missing experiment %s", id)
 		}
 		var sb strings.Builder
-		if err := ex.Run(context.Background(), testCfg, &sb); err != nil {
+		if err := ex.Run(context.Background(), testCfg, report.NewText(&sb)); err != nil {
 			t.Fatalf("serial %s: %v", id, err)
 		}
 		want[id] = sb.String()

@@ -7,6 +7,7 @@ import (
 
 	"texcache/internal/cache"
 	"texcache/internal/exp"
+	"texcache/internal/obs"
 	"texcache/internal/scenes"
 )
 
@@ -64,9 +65,13 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 	}
 	ck := traceCacheKey{key: key, scale: scale}
 
+	reg := obs.Default().Sub("engine").Sub("trace_cache")
 	tc.mu.Lock()
 	if e, ok := tc.entries[ck]; ok {
 		tc.mu.Unlock()
+		// A hit is any request served by an existing entry, including
+		// dedupe hits that wait on an in-flight render.
+		reg.Counter("hits").Inc()
 		select {
 		case <-e.ready:
 			return e.tr, e.err
@@ -78,6 +83,7 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 	tc.entries[ck] = e
 	tc.renders++
 	tc.mu.Unlock()
+	reg.Counter("renders").Inc()
 
 	e.tr, e.err = renderTrace(ctx, ck)
 	if e.err != nil {
@@ -95,9 +101,9 @@ func renderTrace(ctx context.Context, ck traceCacheKey) (*cache.Trace, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s := scenes.ByName(ck.key.Scene, ck.scale)
-	if s == nil {
-		return nil, fmt.Errorf("engine: unknown scene %q", ck.key.Scene)
+	s, err := scenes.ByNameChecked(ck.key.Scene, ck.scale)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 	tr, _, err := s.Trace(ck.key.Layout, ck.key.Traversal)
 	return tr, err

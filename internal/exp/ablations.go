@@ -3,9 +3,9 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"texcache/internal/cache"
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 )
 
@@ -48,15 +48,15 @@ func init() {
 // standard 2-way / 128B / blocked-8x8 point. Expected shape: LRU lowest,
 // FIFO and random close behind — texture streams are so sequential that
 // policy matters little, which is itself a finding.
-func runReplacement(ctx context.Context, cfg Config, w io.Writer) error {
+func runReplacement(ctx context.Context, cfg Config, rep report.Reporter) error {
 	policies := []cache.Replacement{cache.LRU, cache.FIFO, cache.Random}
 	for _, name := range cfg.sceneList("goblet", "town") {
 		tr, err := traceScene(ctx, cfg, name, blocked8(), defaultTraversalFor(name))
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "--- %s, 2-way, 128B lines, blocked 8x8 ---\n", name)
-		printCurveHeader(w, "policy")
+		rep.Note("--- %s, 2-way, 128B lines, blocked 8x8 ---", name)
+		beginCurve(rep, "replacement-"+name, "policy")
 		// One pass replays the whole (policy x size) grid concurrently.
 		var cfgs []cache.Config
 		for _, p := range policies {
@@ -70,12 +70,12 @@ func runReplacement(ctx context.Context, cfg Config, w io.Writer) error {
 		}
 		per := len(curveSizes())
 		for i, p := range policies {
-			printCurve(w, p.String(), rates[i*per:(i+1)*per])
+			curveRow(rep, p.String(), rates[i*per:(i+1)*per])
 		}
-		fmt.Fprintln(w)
+		rep.Note("")
 	}
-	fmt.Fprintln(w, "LRU exploits the re-reference of filter footprints; the gap to FIFO and")
-	fmt.Fprintln(w, "random shows how much of the hit rate is recency rather than streaming")
+	rep.Note("%s", "LRU exploits the re-reference of filter footprints; the gap to FIFO and")
+	rep.Note("%s", "random shows how much of the hit rate is recency rather than streaming")
 	return nil
 }
 
@@ -84,10 +84,15 @@ func runReplacement(ctx context.Context, cfg Config, w io.Writer) error {
 // raise the miss (fetch) count — the texture stream profits from the
 // full-line prefetch of neighboring texels — but each fetch moves fewer
 // bytes, so the traffic comparison decides the design.
-func runSectored(ctx context.Context, cfg Config, w io.Writer) error {
+func runSectored(ctx context.Context, cfg Config, rep report.Reporter) error {
 	const lineBytes = 128
-	fmt.Fprintf(w, "%-8s %-18s %12s %12s %12s\n",
-		"scene", "organization", "fetch rate", "tag misses", "MB moved")
+	rep.BeginTable("sectored", []report.Column{
+		{Name: "scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "organization", Head: " %-18s", Cell: " %-18s"},
+		{Name: "fetch rate", Head: " %12s", Cell: " %11.2f%%"},
+		{Name: "tag misses", Head: " %12s", Cell: " %12d"},
+		{Name: "MB moved", Head: " %12s", Cell: " %12.2f"},
+	})
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		tr, err := traceScene(ctx, cfg, name, blocked8(), defaultTraversalFor(name))
 		if err != nil {
@@ -114,17 +119,16 @@ func runSectored(ctx context.Context, cfg Config, w io.Writer) error {
 		}
 
 		fs := full.Stats()
-		fmt.Fprintf(w, "%-8s %-18s %11.2f%% %12d %12.2f\n",
-			name, "full 128B fills", 100*fs.MissRate(), fs.Misses,
+		rep.Row(name, "full 128B fills", 100*fs.MissRate(), fs.Misses,
 			float64(fs.BytesFetched(lineBytes))/(1<<20))
 		for i, sector := range sectors {
 			ss := scs[i].Stats()
-			fmt.Fprintf(w, "%-8s %-18s %11.2f%% %12d %12.2f\n",
-				name, fmt.Sprintf("%dB sectors", sector), 100*ss.MissRate(),
+			rep.Row(name, fmt.Sprintf("%dB sectors", sector), 100*ss.MissRate(),
 				scs[i].TagMisses(), float64(scs[i].TrafficBytes())/(1<<20))
 		}
 	}
-	fmt.Fprintln(w, "\nfull-line fills act as spatial prefetch for blocked textures; sectors")
-	fmt.Fprintln(w, "trade extra fetches for less traffic per fetch")
+	rep.Note("")
+	rep.Note("%s", "full-line fills act as spatial prefetch for blocked textures; sectors")
+	rep.Note("%s", "trade extra fetches for less traffic per fetch")
 	return nil
 }

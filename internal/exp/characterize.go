@@ -3,9 +3,10 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
+	"strings"
 
 	"texcache/internal/cost"
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 	"texcache/internal/stats"
 	"texcache/internal/texture"
@@ -80,10 +81,20 @@ func safeDiv(a, b float64) float64 {
 	return a / b
 }
 
-func runTable41(ctx context.Context, cfg Config, w io.Writer) error {
-	fmt.Fprintf(w, "%-8s %-11s %6s %8s %6s %6s %5s %9s %9s %6s %9s\n",
-		"Scene", "Resolution", "Tris", "AvgArea", "AvgW", "AvgH",
-		"Texs", "Store(MB)", "Used(MB)", "Used%", "PixTex(M)")
+func runTable41(ctx context.Context, cfg Config, rep report.Reporter) error {
+	rep.BeginTable("benchmarks", []report.Column{
+		{Name: "Scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "Resolution", Head: " %-11s", Cell: " %s"},
+		{Name: "Tris", Head: " %6s", Cell: " %6d"},
+		{Name: "AvgArea", Head: " %8s", Cell: " %8.0f"},
+		{Name: "AvgW", Head: " %6s", Cell: " %6.0f"},
+		{Name: "AvgH", Head: " %6s", Cell: " %6.0f"},
+		{Name: "Texs", Head: " %5s", Cell: " %5d"},
+		{Name: "Store(MB)", Head: " %9s", Cell: " %9.1f"},
+		{Name: "Used(MB)", Head: " %9s", Cell: " %9.2f"},
+		{Name: "Used%", Head: " %6s", Cell: " %5.0f%%"},
+		{Name: "PixTex(M)", Head: " %9s", Cell: " %9.2f"},
+	})
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		s, loc, _, fi, err := characterize(ctx, cfg, name)
 		if err != nil {
@@ -91,57 +102,73 @@ func runTable41(ctx context.Context, cfg Config, w io.Writer) error {
 		}
 		storage := float64(s.TextureStorageBytes()) / (1 << 20)
 		used := float64(loc.TextureUsedBytes()) / (1 << 20)
-		fmt.Fprintf(w, "%-8s %4dx%-6d %6d %8.0f %6.0f %6.0f %5d %9.1f %9.2f %5.0f%% %9.2f\n",
-			s.Name, s.Width, s.Height, fi.Triangles, fi.AvgArea, fi.AvgW, fi.AvgH,
+		rep.Row(s.Name, fmt.Sprintf("%4dx%-6d", s.Width, s.Height),
+			fi.Triangles, fi.AvgArea, fi.AvgW, fi.AvgH,
 			len(s.Mips), storage, used, 100*used/storage,
 			float64(fi.Fragments)/1e6)
 	}
 	return nil
 }
 
-func runTable21(ctx context.Context, cfg Config, w io.Writer) error {
+func runTable21(ctx context.Context, cfg Config, rep report.Reporter) error {
 	for _, name := range cfg.sceneList("goblet") {
 		_, _, counters, _, err := characterize(ctx, cfg, name)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "--- %s: per-frame operation totals (Table 2.1 unit costs) ---\n", name)
-		if err := counters.WriteTable(w); err != nil {
+		rep.Note("--- %s: per-frame operation totals (Table 2.1 unit costs) ---", name)
+		var sb strings.Builder
+		if err := counters.WriteTable(&sb); err != nil {
 			return err
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n") {
+			rep.Note("%s", line)
 		}
 	}
 	return nil
 }
 
-func runLocality(ctx context.Context, cfg Config, w io.Writer) error {
-	fmt.Fprintf(w, "%-8s %12s %12s %12s %11s %12s\n",
-		"Scene", "lower/texel", "upper/texel", "bili/texel", "repetition", "uniqueTexels")
+func runLocality(ctx context.Context, cfg Config, rep report.Reporter) error {
+	rep.BeginTable("locality", []report.Column{
+		{Name: "Scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "lower/texel", Head: " %12s", Cell: " %12.1f"},
+		{Name: "upper/texel", Head: " %12s", Cell: " %12.1f"},
+		{Name: "bili/texel", Head: " %12s", Cell: " %12.1f"},
+		{Name: "repetition", Head: " %11s", Cell: " %11.2f"},
+		{Name: "uniqueTexels", Head: " %12s", Cell: " %12d"},
+	})
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		_, loc, _, _, err := characterize(ctx, cfg, name)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-8s %12.1f %12.1f %12.1f %11.2f %12d\n", name,
+		rep.Row(name,
 			loc.AccessesPerTexel(texture.AccessTrilinearLower),
 			loc.AccessesPerTexel(texture.AccessTrilinearUpper),
 			loc.AccessesPerTexel(texture.AccessBilinear),
 			loc.RepetitionFactor(),
 			loc.UniqueTexels())
 	}
-	fmt.Fprintln(w, "\npaper: lower=4, upper=14, bilinear=18 (avg across scenes);")
-	fmt.Fprintln(w, "repetition: town=2.9 guitar=1.7 goblet=1.1 flight=1.0")
+	rep.Note("")
+	rep.Note("%s", "paper: lower=4, upper=14, bilinear=18 (avg across scenes);")
+	rep.Note("%s", "repetition: town=2.9 guitar=1.7 goblet=1.1 flight=1.0")
 	return nil
 }
 
-func runRunlength(ctx context.Context, cfg Config, w io.Writer) error {
-	fmt.Fprintf(w, "%-8s %14s %8s\n", "Scene", "avg runlength", "runs")
+func runRunlength(ctx context.Context, cfg Config, rep report.Reporter) error {
+	rep.BeginTable("runlength", []report.Column{
+		{Name: "Scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "avg runlength", Head: " %14s", Cell: " %14.0f"},
+		{Name: "runs", Head: " %8s", Cell: " %8d"},
+	})
 	for _, name := range cfg.sceneList("town", "guitar", "flight") {
 		_, loc, _, _, err := characterize(ctx, cfg, name)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-8s %14.0f %8d\n", name, loc.AverageRunlength(), loc.Runs())
+		rep.Row(name, loc.AverageRunlength(), loc.Runs())
 	}
-	fmt.Fprintln(w, "\npaper: town=223629 guitar=553745 flight=562154 (multi-texture scenes)")
+	rep.Note("")
+	rep.Note("%s", "paper: town=223629 guitar=553745 flight=562154 (multi-texture scenes)")
 	return nil
 }

@@ -8,12 +8,11 @@ package exp
 
 import (
 	"context"
-	"fmt"
-	"io"
 	"sort"
 
 	"texcache/internal/cache"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
 )
@@ -79,10 +78,10 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact as the paper captions it.
 	Title string
-	// Run executes the experiment, writing rows/series to w. It must
-	// honor ctx: long sweeps check for cancellation at least once per
-	// rendered frame.
-	Run func(ctx context.Context, cfg Config, w io.Writer) error
+	// Run executes the experiment, emitting tables, rows and notes
+	// through rep. It must honor ctx: long sweeps check for cancellation
+	// at least once per rendered frame.
+	Run func(ctx context.Context, cfg Config, rep report.Reporter) error
 	// Needs, when non-nil, declares the traces the experiment will
 	// request for the given configuration, so a batching engine can
 	// prewarm its trace cache across workers before Run starts. Purely
@@ -136,11 +135,7 @@ func IDs() []string {
 
 // buildScene constructs a benchmark scene at the configured scale.
 func buildScene(cfg Config, name string) (*scenes.Scene, error) {
-	s := scenes.ByName(name, cfg.scale())
-	if s == nil {
-		return nil, fmt.Errorf("exp: unknown scene %q", name)
-	}
-	return s, nil
+	return scenes.ByNameChecked(name, cfg.scale())
 }
 
 // traceScene returns the texel address trace of one rendered frame,
@@ -171,22 +166,29 @@ func curveSizes() []int {
 	return out
 }
 
-// printCurveHeader writes the size-axis header row.
-func printCurveHeader(w io.Writer, label string) {
-	fmt.Fprintf(w, "%-28s", label)
+// curveColumns builds the columns of a miss-rate-versus-size table: a
+// label column followed by one column per swept cache size.
+func curveColumns(label string) []report.Column {
+	cols := []report.Column{{Name: label, Head: "%-28s", Cell: "%-28s"}}
 	for _, s := range curveSizes() {
-		fmt.Fprintf(w, "%9s", cache.FormatSize(s))
+		cols = append(cols, report.Column{Name: cache.FormatSize(s), Head: "%9s", Cell: "%8.2f%%"})
 	}
-	fmt.Fprintln(w)
+	return cols
 }
 
-// printCurve writes one miss-rate series as percentages.
-func printCurve(w io.Writer, label string, rates []float64) {
-	fmt.Fprintf(w, "%-28s", label)
+// beginCurve starts a miss-rate-versus-size table.
+func beginCurve(rep report.Reporter, id, label string) {
+	rep.BeginTable(id, curveColumns(label))
+}
+
+// curveRow emits one miss-rate series as percentages.
+func curveRow(rep report.Reporter, label string, rates []float64) {
+	vals := make([]any, 0, 1+len(rates))
+	vals = append(vals, label)
 	for _, r := range rates {
-		fmt.Fprintf(w, "%8.2f%%", 100*r)
+		vals = append(vals, 100*r)
 	}
-	fmt.Fprintln(w)
+	rep.Row(vals...)
 }
 
 // blocked8 is the 8x8-texel blocked layout used with 128-byte lines

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 )
 
@@ -53,7 +54,7 @@ func runOne(t *testing.T, id string, cfg Config) string {
 		t.Fatalf("experiment %s not registered", id)
 	}
 	var sb strings.Builder
-	if err := e.Run(context.Background(), cfg, &sb); err != nil {
+	if err := e.Run(context.Background(), cfg, report.NewText(&sb)); err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
 	return sb.String()
@@ -246,7 +247,7 @@ func TestWorstCaseOutput(t *testing.T) {
 func TestUnknownSceneErrors(t *testing.T) {
 	e, _ := Lookup("table4.1")
 	var sb strings.Builder
-	if err := e.Run(context.Background(), Config{Scale: 8, Scenes: []string{"bogus"}}, &sb); err == nil {
+	if err := e.Run(context.Background(), Config{Scale: 8, Scenes: []string{"bogus"}}, report.NewText(&sb)); err == nil {
 		t.Error("unknown scene accepted")
 	}
 }
@@ -309,7 +310,7 @@ func TestRunHonorsCancelledContext(t *testing.T) {
 			t.Fatalf("experiment %s not registered", id)
 		}
 		var sb strings.Builder
-		if err := e.Run(ctx, Config{Scale: 16, Scenes: []string{"goblet"}}, &sb); err == nil {
+		if err := e.Run(ctx, Config{Scale: 16, Scenes: []string{"goblet"}}, report.NewText(&sb)); err == nil {
 			t.Errorf("%s ran to completion under a cancelled context", id)
 		}
 	}

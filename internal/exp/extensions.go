@@ -2,13 +2,12 @@ package exp
 
 import (
 	"context"
-	"fmt"
-	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/parallel"
 	"texcache/internal/perf"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
 )
@@ -72,7 +71,7 @@ func init() {
 // runHilbert compares the working-set curves of scanline, tiled and
 // Hilbert traversals. Expected: Hilbert matches or beats tiled at small
 // caches — it is the limit case of recursive tiling.
-func runHilbert(ctx context.Context, cfg Config, w io.Writer) error {
+func runHilbert(ctx context.Context, cfg Config, rep report.Reporter) error {
 	name := "guitar"
 	if len(cfg.Scenes) > 0 {
 		name = cfg.Scenes[0]
@@ -81,8 +80,8 @@ func runHilbert(ctx context.Context, cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "--- %s, blocked 8x8, 128B lines, fully associative ---\n", name)
-	printCurveHeader(w, "traversal")
+	rep.Note("--- %s, blocked 8x8, 128B lines, fully associative ---", name)
+	beginCurve(rep, "traversals", "traversal")
 	for _, tc := range []struct {
 		label string
 		trav  raster.Traversal
@@ -97,20 +96,26 @@ func runHilbert(ctx context.Context, cfg Config, w io.Writer) error {
 		}
 		sd := cache.NewStackDist(128)
 		tr.Replay(sd)
-		printCurve(w, tc.label, sd.Curve(curveSizes()))
+		curveRow(rep, tc.label, sd.Curve(curveSizes()))
 	}
-	fmt.Fprintln(w, "\nfootnote 1: the Peano-Hilbert path minimizes the working set by")
-	fmt.Fprintln(w, "traversing texture regions in a spatially contiguous manner")
+	rep.Note("")
+	rep.Note("%s", "footnote 1: the Peano-Hilbert path minimizes the working set by")
+	rep.Note("%s", "traversing texture regions in a spatially contiguous manner")
 	return nil
 }
 
 // runCompress compares blocked uncompressed against 4:1 compressed
 // texture memory: the compressed line covers four times the texels, so
 // both the miss rate and the bytes per miss drop.
-func runCompress(ctx context.Context, cfg Config, w io.Writer) error {
+func runCompress(ctx context.Context, cfg Config, rep report.Reporter) error {
 	model := perf.Default()
-	fmt.Fprintf(w, "%-8s %-12s %12s %12s %14s\n",
-		"scene", "layout", "miss rate", "MB/frame", "MB/s @50Mf/s")
+	rep.BeginTable("compress", []report.Column{
+		{Name: "scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "layout", Head: " %-12s", Cell: " %-12s"},
+		{Name: "miss rate", Head: " %12s", Cell: " %11.2f%%"},
+		{Name: "MB/frame", Head: " %12s", Cell: " %12.2f"},
+		{Name: "MB/s @50Mf/s", Head: " %14s", Cell: " %14.0f"},
+	})
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		s, err := buildScene(cfg, name)
 		if err != nil {
@@ -127,21 +132,21 @@ func runCompress(ctx context.Context, cfg Config, w io.Writer) error {
 			c := cache.New(cache.Config{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
 			tr.Replay(c.Sink())
 			st := c.Stats()
-			fmt.Fprintf(w, "%-8s %-12s %11.2f%% %12.2f %14.0f\n",
-				name, spec.Kind, 100*st.MissRate(),
+			rep.Row(name, spec.Kind, 100*st.MissRate(),
 				float64(st.BytesFetched(128))/(1<<20),
 				model.BandwidthBytesPerSecond(st.MissRate(), 128)/1e6)
 		}
 	}
-	fmt.Fprintln(w, "\nexpected: ~4x traffic reduction — fewer misses (denser lines) at the")
-	fmt.Fprintln(w, "same line size, with decompression moved into the fill path")
+	rep.Note("")
+	rep.Note("%s", "expected: ~4x traffic reduction — fewer misses (denser lines) at the")
+	rep.Note("%s", "same line size, with decompression moved into the fill path")
 	return nil
 }
 
 // runParallel evaluates image-space work partitions for 1-8 fragment
 // generators, each with a private 32KB 2-way cache over a shared texture
 // memory: load imbalance vs aggregate miss traffic.
-func runParallel(ctx context.Context, cfg Config, w io.Writer) error {
+func runParallel(ctx context.Context, cfg Config, rep report.Reporter) error {
 	name := "town"
 	if len(cfg.Scenes) > 0 {
 		name = cfg.Scenes[0]
@@ -152,9 +157,14 @@ func runParallel(ctx context.Context, cfg Config, w io.Writer) error {
 	}
 	layout := texture.LayoutSpec{Kind: texture.PaddedBlockedKind, BlockW: 8, PadBlocks: 4}
 	cc := cache.Config{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2}
-	fmt.Fprintf(w, "--- %s, per-FG 32KB 2-way 128B lines ---\n", name)
-	fmt.Fprintf(w, "%-22s %4s %12s %12s %14s\n",
-		"partition", "FGs", "imbalance", "agg miss%", "misses/frame")
+	rep.Note("--- %s, per-FG 32KB 2-way 128B lines ---", name)
+	rep.BeginTable("partitions", []report.Column{
+		{Name: "partition", Head: "%-22s", Cell: "%-22s"},
+		{Name: "FGs", Head: " %4s", Cell: " %4d"},
+		{Name: "imbalance", Head: " %12s", Cell: " %12.3f"},
+		{Name: "agg miss%", Head: " %12s", Cell: " %11.2f%%"},
+		{Name: "misses/frame", Head: " %14s", Cell: " %14d"},
+	})
 	for _, n := range []int{1, 2, 4, 8} {
 		for _, p := range []parallel.Partition{
 			parallel.ScanlineInterleave, parallel.StripPartition, parallel.TileInterleave,
@@ -169,22 +179,27 @@ func runParallel(ctx context.Context, cfg Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%-22s %4d %12.3f %11.2f%% %14d\n",
-				p, n, res.LoadImbalance(), 100*res.AggregateMissRate(), res.TotalMisses())
+			rep.Row(p, n, res.LoadImbalance(), 100*res.AggregateMissRate(), res.TotalMisses())
 		}
 	}
-	fmt.Fprintln(w, "\nthe conclusion's open question: interleaved scanlines balance load but")
-	fmt.Fprintln(w, "shred per-stream locality; strips keep locality but unbalance; tiles trade")
+	rep.Note("")
+	rep.Note("%s", "the conclusion's open question: interleaved scanlines balance load but")
+	rep.Note("%s", "shred per-stream locality; strips keep locality but unbalance; tiles trade")
 	return nil
 }
 
 // runLatency quantifies Section 7.1.1: how far below the 50M fragments/s
 // peak an un-hidden ~50-cycle miss latency drags each scene, versus the
 // prefetching dual-rasterizer design that hides it.
-func runLatency(ctx context.Context, cfg Config, w io.Writer) error {
+func runLatency(ctx context.Context, cfg Config, rep report.Reporter) error {
 	model := perf.Default()
-	fmt.Fprintf(w, "%-8s %10s %16s %16s %8s\n",
-		"scene", "miss rate", "stalled Mfrag/s", "hidden Mfrag/s", "slowdown")
+	rep.BeginTable("latency", []report.Column{
+		{Name: "scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "miss rate", Head: " %10s", Cell: " %9.2f%%"},
+		{Name: "stalled Mfrag/s", Head: " %16s", Cell: " %16.1f"},
+		{Name: "hidden Mfrag/s", Head: " %16s", Cell: " %16.1f"},
+		{Name: "slowdown", Head: " %8s", Cell: " %7.1fx"},
+	})
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		tr, err := traceScene(ctx, cfg, name,
 			texture.LayoutSpec{Kind: texture.PaddedBlockedKind, BlockW: 8, PadBlocks: 4},
@@ -197,10 +212,10 @@ func runLatency(ctx context.Context, cfg Config, w io.Writer) error {
 		mr := c.Stats().MissRate()
 		stalled := model.SustainedFragmentsPerSecond(mr, 128, false)
 		hidden := model.SustainedFragmentsPerSecond(mr, 128, true)
-		fmt.Fprintf(w, "%-8s %9.2f%% %16.1f %16.1f %7.1fx\n",
-			name, 100*mr, stalled/1e6, hidden/1e6, hidden/stalled)
+		rep.Row(name, 100*mr, stalled/1e6, hidden/1e6, hidden/stalled)
 	}
-	fmt.Fprintln(w, "\nSection 7.1.1: the memory latency 'must be completely hidden to achieve")
-	fmt.Fprintln(w, "the maximum rate of fragments textured per second'")
+	rep.Note("")
+	rep.Note("%s", "Section 7.1.1: the memory latency 'must be completely hidden to achieve")
+	rep.Note("%s", "the maximum rate of fragments textured per second'")
 	return nil
 }

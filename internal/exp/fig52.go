@@ -3,10 +3,10 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
 )
@@ -37,11 +37,11 @@ func init() {
 // floors of 0.55-2.8%, and the Town scene's working set doubling under
 // vertical rasterization because its upright textures are then traversed
 // against the row-major storage order.
-func runFig52(ctx context.Context, cfg Config, w io.Writer) error {
+func runFig52(ctx context.Context, cfg Config, rep report.Reporter) error {
 	layout := texture.LayoutSpec{Kind: texture.NonBlockedKind}
 	for _, dir := range []raster.Order{raster.RowMajor, raster.ColumnMajor} {
-		fmt.Fprintf(w, "--- (%s rasterization) ---\n", dir)
-		printCurveHeader(w, "scene")
+		rep.Note("--- (%s rasterization) ---", dir)
+		beginCurve(rep, fmt.Sprintf("missrate-%s", dir), "scene")
 		for _, name := range cfg.sceneList(scenes.Names()...) {
 			tr, err := traceScene(ctx, cfg, name, layout, raster.Traversal{Order: dir})
 			if err != nil {
@@ -49,12 +49,12 @@ func runFig52(ctx context.Context, cfg Config, w io.Writer) error {
 			}
 			sd := cache.NewStackDist(32)
 			tr.Replay(sd)
-			printCurve(w, name, sd.Curve(curveSizes()))
+			curveRow(rep, name, sd.Curve(curveSizes()))
 		}
-		fmt.Fprintln(w)
+		rep.Note("")
 	}
-	fmt.Fprintln(w, "paper (horizontal): working sets flight=4KB town=8KB guitar=16KB goblet=16KB;")
-	fmt.Fprintln(w, "cold miss floors: town=0.55% guitar=0.87% goblet=1.5% flight=2.8%;")
-	fmt.Fprintln(w, "vertical: town's small-cache miss rates rise sharply (working set 8KB->16KB)")
+	rep.Note("%s", "paper (horizontal): working sets flight=4KB town=8KB guitar=16KB goblet=16KB;")
+	rep.Note("%s", "cold miss floors: town=0.55% guitar=0.87% goblet=1.5% flight=2.8%;")
+	rep.Note("%s", "vertical: town's small-cache miss rates rise sharply (working set 8KB->16KB)")
 	return nil
 }

@@ -3,10 +3,10 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
 )
@@ -43,7 +43,7 @@ var fig54Blocks = []int{1, 2, 4, 8, 16}
 // conclusion: the best block size matches the cache line size
 // (a 4x4x4B = 64B block for a 64B line, 8x8 for 128B), and growing the
 // line without blocking makes things worse.
-func runFig54(ctx context.Context, cfg Config, w io.Writer) error {
+func runFig54(ctx context.Context, cfg Config, rep report.Reporter) error {
 	const cacheSize = 32 << 10
 	for _, sc := range []struct {
 		name string
@@ -52,12 +52,12 @@ func runFig54(ctx context.Context, cfg Config, w io.Writer) error {
 		if !containsScene(cfg, sc.name) {
 			continue
 		}
-		fmt.Fprintf(w, "--- %s (%s rasterization), 32KB fully associative ---\n", sc.name, sc.dir)
-		fmt.Fprintf(w, "%-18s", "block \\ line")
+		rep.Note("--- %s (%s rasterization), 32KB fully associative ---", sc.name, sc.dir)
+		cols := []report.Column{{Name: "block \\ line", Head: "%-18s", Cell: "%-18s"}}
 		for _, l := range fig54Lines {
-			fmt.Fprintf(w, "%9s", cache.FormatSize(l))
+			cols = append(cols, report.Column{Name: cache.FormatSize(l), Head: "%9s", Cell: "%8.2f%%"})
 		}
-		fmt.Fprintln(w)
+		rep.BeginTable("line-sweep-"+sc.name, cols)
 		for _, bw := range fig54Blocks {
 			spec := texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: bw}
 			if bw == 1 {
@@ -67,17 +67,17 @@ func runFig54(ctx context.Context, cfg Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%-18s", fmt.Sprintf("%dx%d (%s)", bw, bw, cache.FormatSize(lineForBlock(bw))))
+			vals := []any{fmt.Sprintf("%dx%d (%s)", bw, bw, cache.FormatSize(lineForBlock(bw)))}
 			for _, line := range fig54Lines {
 				sd := cache.NewStackDist(line)
 				tr.Replay(sd)
-				fmt.Fprintf(w, "%8.2f%%", 100*sd.MissRateAt(cacheSize))
+				vals = append(vals, 100*sd.MissRateAt(cacheSize))
 			}
-			fmt.Fprintln(w)
+			rep.Row(vals...)
 		}
-		fmt.Fprintln(w)
+		rep.Note("")
 	}
-	fmt.Fprintln(w, "paper: lowest miss rate on each line-size column occurs where block bytes = line bytes")
+	rep.Note("%s", "paper: lowest miss rate on each line-size column occurs where block bytes = line bytes")
 	return nil
 }
 
@@ -86,20 +86,22 @@ func runFig54(ctx context.Context, cfg Config, w io.Writer) error {
 // Expected shape: miss rates fall substantially from 32B to 128B lines
 // (flight 2.8%->0.87%, goblet 1.5%->0.41%, guitar 1.2%->0.36%,
 // town 0.8%->0.21%).
-func runFig55(ctx context.Context, cfg Config, w io.Writer) error {
+func runFig55(ctx context.Context, cfg Config, rep report.Reporter) error {
 	const cacheSize = 32 << 10
 	blocks := []int{2, 4, 8, 16} // 16B..1KB lines
-	fmt.Fprintf(w, "%-10s", "scene")
+	cols := []report.Column{{Name: "scene", Head: "%-10s", Cell: "%-10s"}}
 	for _, bw := range blocks {
-		fmt.Fprintf(w, "%12s", fmt.Sprintf("%dx%d/%s", bw, bw, cache.FormatSize(lineForBlock(bw))))
+		cols = append(cols, report.Column{
+			Name: fmt.Sprintf("%dx%d/%s", bw, bw, cache.FormatSize(lineForBlock(bw))),
+			Head: "%12s", Cell: "%11.2f%%"})
 	}
-	fmt.Fprintln(w)
+	rep.BeginTable("matched-line-block", cols)
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		s, err := buildScene(cfg, name)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-10s", name)
+		vals := []any{name}
 		for _, bw := range blocks {
 			tr, err := traceScene(ctx, cfg, name,
 				texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: bw}, s.DefaultTraversal())
@@ -108,19 +110,20 @@ func runFig55(ctx context.Context, cfg Config, w io.Writer) error {
 			}
 			sd := cache.NewStackDist(lineForBlock(bw))
 			tr.Replay(sd)
-			fmt.Fprintf(w, "%11.2f%%", 100*sd.MissRateAt(cacheSize))
+			vals = append(vals, 100*sd.MissRateAt(cacheSize))
 		}
-		fmt.Fprintln(w)
+		rep.Row(vals...)
 	}
-	fmt.Fprintln(w, "\npaper at 32B: flight=2.8 goblet=1.5 guitar=1.2 town=0.8 (%);")
-	fmt.Fprintln(w, "at 128B: flight=0.87 goblet=0.41 guitar=0.36 town=0.21 (%)")
+	rep.Note("")
+	rep.Note("%s", "paper at 32B: flight=2.8 goblet=1.5 guitar=1.2 town=0.8 (%);")
+	rep.Note("%s", "at 128B: flight=0.87 goblet=0.41 guitar=0.36 town=0.21 (%)")
 	return nil
 }
 
 // runFig56 reproduces Figure 5.6: the blocked representation with larger
 // matched line/block sizes reduces capacity misses even for caches
 // smaller than the working set (Guitar scene).
-func runFig56(ctx context.Context, cfg Config, w io.Writer) error {
+func runFig56(ctx context.Context, cfg Config, rep report.Reporter) error {
 	name := "guitar"
 	if len(cfg.Scenes) > 0 {
 		name = cfg.Scenes[0]
@@ -129,7 +132,7 @@ func runFig56(ctx context.Context, cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	printCurveHeader(w, name+" line/block")
+	beginCurve(rep, "blocked-sizes", name+" line/block")
 	for _, bw := range []int{2, 4, 8, 16} {
 		tr, err := traceScene(ctx, cfg, name,
 			texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: bw}, s.DefaultTraversal())
@@ -138,11 +141,12 @@ func runFig56(ctx context.Context, cfg Config, w io.Writer) error {
 		}
 		sd := cache.NewStackDist(lineForBlock(bw))
 		tr.Replay(sd)
-		printCurve(w, fmt.Sprintf("%s/%dx%d", cache.FormatSize(lineForBlock(bw)), bw, bw),
+		curveRow(rep, fmt.Sprintf("%s/%dx%d", cache.FormatSize(lineForBlock(bw)), bw, bw),
 			sd.Curve(curveSizes()))
 	}
-	fmt.Fprintln(w, "\npaper: larger matched line/block pairs lower the whole curve, including")
-	fmt.Fprintln(w, "cache sizes below the working set (fewer capacity misses)")
+	rep.Note("")
+	rep.Note("%s", "paper: larger matched line/block pairs lower the whole curve, including")
+	rep.Note("%s", "cache sizes below the working set (fewer capacity misses)")
 	return nil
 }
 

@@ -3,10 +3,10 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/texture"
 )
 
@@ -64,7 +64,7 @@ var fig57Scenes = []struct {
 // runAssocSweep prints miss rate vs cache size for each associativity,
 // replaying the trace through the whole (ways x size) grid in one
 // concurrent pass.
-func runAssocSweep(ctx context.Context, w io.Writer, tr *cache.Trace, lineBytes int) error {
+func runAssocSweep(ctx context.Context, rep report.Reporter, tr *cache.Trace, lineBytes int) error {
 	var cfgs []cache.Config
 	for _, ways := range assocWays {
 		for _, size := range curveSizes() {
@@ -77,7 +77,7 @@ func runAssocSweep(ctx context.Context, w io.Writer, tr *cache.Trace, lineBytes 
 	}
 	per := len(curveSizes())
 	for i, ways := range assocWays {
-		printCurve(w, assocLabel(ways), rates[i*per:(i+1)*per])
+		curveRow(rep, assocLabel(ways), rates[i*per:(i+1)*per])
 	}
 	return nil
 }
@@ -88,7 +88,7 @@ func runAssocSweep(ctx context.Context, w io.Writer, tr *cache.Trace, lineBytes 
 // most two); for Town-vertical, a gap remains between 2-way and fully
 // associative because vertically-traversed upright textures conflict
 // between blocks within one 2D array.
-func runFig57(ctx context.Context, cfg Config, w io.Writer) error {
+func runFig57(ctx context.Context, cfg Config, rep report.Reporter) error {
 	const lineBytes = 128
 	for _, sc := range fig57Scenes {
 		if !containsScene(cfg, sc.name) {
@@ -98,14 +98,14 @@ func runFig57(ctx context.Context, cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "--- %s (%s), blocked 8x8, 128B lines ---\n", sc.name, sc.dir)
-		printCurveHeader(w, "associativity")
-		if err := runAssocSweep(ctx, w, tr, lineBytes); err != nil {
+		rep.Note("--- %s (%s), blocked 8x8, 128B lines ---", sc.name, sc.dir)
+		beginCurve(rep, "assoc-"+sc.name, "associativity")
+		if err := runAssocSweep(ctx, rep, tr, lineBytes); err != nil {
 			return err
 		}
-		fmt.Fprintln(w)
+		rep.Note("")
 	}
-	fmt.Fprintln(w, "paper: goblet 2-way == fully associative; town keeps a 2-way vs FA gap")
+	rep.Note("%s", "paper: goblet 2-way == fully associative; town keeps a 2-way vs FA gap")
 	return nil
 }
 
@@ -113,18 +113,19 @@ func runFig57(ctx context.Context, cfg Config, w io.Writer) error {
 // the Goblet scene needs eight-way associativity to match the fully
 // associative miss rates at small cache sizes (neighboring rows of the
 // power-of-two-wide arrays conflict).
-func runFig57NB(ctx context.Context, cfg Config, w io.Writer) error {
+func runFig57NB(ctx context.Context, cfg Config, rep report.Reporter) error {
 	tr, err := traceScene(ctx, cfg, "goblet",
 		texture.LayoutSpec{Kind: texture.NonBlockedKind}, raster.Traversal{Order: raster.RowMajor})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "--- goblet (horizontal), NONBLOCKED, 128B lines ---")
-	printCurveHeader(w, "associativity")
-	if err := runAssocSweep(ctx, w, tr, 128); err != nil {
+	rep.Note("%s", "--- goblet (horizontal), NONBLOCKED, 128B lines ---")
+	beginCurve(rep, "assoc-nonblocked", "associativity")
+	if err := runAssocSweep(ctx, rep, tr, 128); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "\npaper: with the nonblocked representation an 8-way cache is required to")
-	fmt.Fprintln(w, "match fully-associative miss rates among the small cache sizes")
+	rep.Note("")
+	rep.Note("%s", "paper: with the nonblocked representation an 8-way cache is required to")
+	rep.Note("%s", "match fully-associative miss rates among the small cache sizes")
 	return nil
 }

@@ -3,10 +3,10 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 )
 
 func init() {
@@ -26,7 +26,7 @@ var fig62Tiles = []int{0, 2, 4, 8, 16, 32, 64, 128, 256}
 // misses for caches that previously couldn't hold the working set; tiny
 // tiles converge to the untiled pattern; huge tiles overflow the cache
 // again.
-func runFig62(ctx context.Context, cfg Config, w io.Writer) error {
+func runFig62(ctx context.Context, cfg Config, rep report.Reporter) error {
 	name := "guitar"
 	if len(cfg.Scenes) > 0 {
 		name = cfg.Scenes[0]
@@ -35,8 +35,8 @@ func runFig62(ctx context.Context, cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "--- %s, blocked 8x8, 128B lines, fully associative ---\n", name)
-	printCurveHeader(w, "tile")
+	rep.Note("--- %s, blocked 8x8, 128B lines, fully associative ---", name)
+	beginCurve(rep, "tile-sweep", "tile")
 	for _, tile := range fig62Tiles {
 		trav := raster.Traversal{Order: s.DefaultOrder, TileW: tile, TileH: tile}
 		tr, err := traceScene(ctx, cfg, name, blocked8(), trav)
@@ -49,9 +49,10 @@ func runFig62(ctx context.Context, cfg Config, w io.Writer) error {
 		if tile > 0 {
 			label = fmt.Sprintf("%dx%d px", tile, tile)
 		}
-		printCurve(w, label, sd.Curve(curveSizes()))
+		curveRow(rep, label, sd.Curve(curveSizes()))
 	}
-	fmt.Fprintln(w, "\npaper: small->medium tiles cut misses at cache sizes below the untiled")
-	fmt.Fprintln(w, "working set; medium->huge tiles bring capacity misses back")
+	rep.Note("")
+	rep.Note("%s", "paper: small->medium tiles cut misses at cache sizes below the untiled")
+	rep.Note("%s", "working set; medium->huge tiles bring capacity misses back")
 	return nil
 }

@@ -2,11 +2,10 @@ package exp
 
 import (
 	"context"
-	"fmt"
-	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/texture"
 )
 
@@ -36,7 +35,7 @@ func fig64Specs(cacheSize int) []texture.LayoutSpec {
 // blocked representations. Expected shapes: tiling alone sharply cuts
 // block conflicts for Town; Flight's large terrain textures also need
 // padding or 6D blocking before the conflicts subside.
-func runFig64(ctx context.Context, cfg Config, w io.Writer) error {
+func runFig64(ctx context.Context, cfg Config, rep report.Reporter) error {
 	const lineBytes = 128
 	for _, sc := range []struct {
 		name string
@@ -45,12 +44,12 @@ func runFig64(ctx context.Context, cfg Config, w io.Writer) error {
 		if !containsScene(cfg, sc.name) {
 			continue
 		}
-		fmt.Fprintf(w, "--- %s (%s within and between tiles) ---\n", sc.name, sc.dir)
-		fmt.Fprintf(w, "%-34s", "config")
+		rep.Note("--- %s (%s within and between tiles) ---", sc.name, sc.dir)
+		cols := []report.Column{{Name: "config", Head: "%-34s", Cell: "%-34s"}}
 		for _, s := range curveSizes() {
-			fmt.Fprintf(w, "%9s", cache.FormatSize(s))
+			cols = append(cols, report.Column{Name: cache.FormatSize(s), Head: "%9s", Cell: "%8.2f%%"})
 		}
-		fmt.Fprintln(w)
+		rep.BeginTable("conflicts-"+sc.name, cols)
 
 		type variant struct {
 			label string
@@ -79,7 +78,7 @@ func runFig64(ctx context.Context, cfg Config, w io.Writer) error {
 					return err
 				}
 			}
-			fmt.Fprintf(w, "%-34s", v.label+" 2-way")
+			vals := []any{v.label + " 2-way"}
 			for _, size := range curveSizes() {
 				if sixD {
 					spec := texture.LayoutSpec{Kind: texture.SixDBlockedKind, BlockW: 8, SuperBytes: size}
@@ -90,13 +89,12 @@ func runFig64(ctx context.Context, cfg Config, w io.Writer) error {
 				}
 				c := cache.New(cache.Config{SizeBytes: size, LineBytes: lineBytes, Ways: 2})
 				tr.Replay(c.Sink())
-				fmt.Fprintf(w, "%8.2f%%", 100*c.Stats().MissRate())
+				vals = append(vals, 100*c.Stats().MissRate())
 			}
-			fmt.Fprintln(w)
+			rep.Row(vals...)
 		}
 
 		// Fully-associative floor for reference (conflict-free).
-		fmt.Fprintf(w, "%-34s", "tiled 8x8 blocked FA floor")
 		trav := raster.Traversal{Order: sc.dir, TileW: 8, TileH: 8}
 		tr, err := traceScene(ctx, cfg, sc.name, texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8}, trav)
 		if err != nil {
@@ -104,13 +102,14 @@ func runFig64(ctx context.Context, cfg Config, w io.Writer) error {
 		}
 		sd := cache.NewStackDist(lineBytes)
 		tr.Replay(sd)
+		vals := []any{"tiled 8x8 blocked FA floor"}
 		for _, r := range sd.Curve(curveSizes()) {
-			fmt.Fprintf(w, "%8.2f%%", 100*r)
+			vals = append(vals, 100*r)
 		}
-		fmt.Fprintln(w)
-		fmt.Fprintln(w)
+		rep.Row(vals...)
+		rep.Note("")
 	}
-	fmt.Fprintln(w, "paper: tiling cuts town's block conflicts by itself; flight's 1024x1024")
-	fmt.Fprintln(w, "textures also need padding or 6D blocking before conflicts subside")
+	rep.Note("%s", "paper: tiling cuts town's block conflicts by itself; flight's 1024x1024")
+	rep.Note("%s", "textures also need padding or 6D blocking before conflicts subside")
 	return nil
 }

@@ -3,12 +3,12 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/dram"
 	"texcache/internal/prefetch"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
 )
@@ -43,9 +43,15 @@ func init() {
 // the page-hit rate (denser fills) and the bus utilization (longer
 // bursts amortize the activate/precharge setup) — the Section 3.2
 // argument for cache-line block transfers.
-func runDRAM(ctx context.Context, cfg Config, w io.Writer) error {
-	fmt.Fprintf(w, "%-8s %6s %10s %10s %10s %12s\n",
-		"scene", "line", "fills", "page-hit", "bus-util", "eff MB/s")
+func runDRAM(ctx context.Context, cfg Config, rep report.Reporter) error {
+	rep.BeginTable("dram", []report.Column{
+		{Name: "scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "line", Head: " %6s", Cell: " %5dB"},
+		{Name: "fills", Head: " %10s", Cell: " %10d"},
+		{Name: "page-hit", Head: " %10s", Cell: " %9.1f%%"},
+		{Name: "bus-util", Head: " %10s", Cell: " %9.1f%%"},
+		{Name: "eff MB/s", Head: " %12s", Cell: " %12.0f"},
+	})
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		s, err := buildScene(cfg, name)
 		if err != nil {
@@ -77,13 +83,13 @@ func runDRAM(ctx context.Context, cfg Config, w io.Writer) error {
 				return err
 			}
 			st := d.Stats()
-			fmt.Fprintf(w, "%-8s %5dB %10d %9.1f%% %9.1f%% %12.0f\n",
-				name, line, st.Fills, 100*st.PageHitRate(), 100*st.BusUtilization(),
+			rep.Row(name, line, st.Fills, 100*st.PageHitRate(), 100*st.BusUtilization(),
 				d.EffectiveBandwidth()/1e6)
 		}
 	}
-	fmt.Fprintln(w, "\nSection 3.2: block transfers amortize DRAM setup over many bytes,")
-	fmt.Fprintln(w, "so longer lines extract a larger fraction of the raw 800 MB/s bus")
+	rep.Note("")
+	rep.Note("%s", "Section 3.2: block transfers amortize DRAM setup over many bytes,")
+	rep.Note("%s", "so longer lines extract a larger fraction of the raw 800 MB/s bus")
 	return nil
 }
 
@@ -98,13 +104,15 @@ func maxInt(a, b int) int {
 // each scene, reporting the sustained fragment rate. Expected shape:
 // rate climbs with depth until either the 50M/s compute peak or the
 // memory bandwidth bound is reached.
-func runPrefetch(ctx context.Context, cfg Config, w io.Writer) error {
+func runPrefetch(ctx context.Context, cfg Config, rep report.Reporter) error {
 	depths := []int{0, 2, 8, 32, 128, 512}
-	fmt.Fprintf(w, "%-8s", "scene")
+	cols := []report.Column{{Name: "scene", Head: "%-8s", Cell: "%-8s"}}
 	for _, d := range depths {
-		fmt.Fprintf(w, "%12s", fmt.Sprintf("fifo=%d", d))
+		cols = append(cols, report.Column{Name: fmt.Sprintf("fifo=%d", d), Head: "%12s", Cell: "%12.1f"})
 	}
-	fmt.Fprintln(w, "    (Mfragments/s at 100MHz)")
+	// Header-only annotation column: rows supply no value for it.
+	cols = append(cols, report.Column{Name: "    (Mfragments/s at 100MHz)", Head: "%s"})
+	rep.BeginTable("prefetch", cols)
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		tr, err := traceScene(ctx, cfg, name,
 			texture.LayoutSpec{Kind: texture.PaddedBlockedKind, BlockW: 8, PadBlocks: 4},
@@ -112,19 +120,20 @@ func runPrefetch(ctx context.Context, cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-8s", name)
+		vals := []any{name}
 		for _, d := range depths {
 			pcfg := prefetch.Default(cache.Config{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2}, d)
 			res, err := prefetch.Simulate(pcfg, tr)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%12.1f", res.FragmentsPerSecond(100e6, 8)/1e6)
+			vals = append(vals, res.FragmentsPerSecond(100e6, 8)/1e6)
 		}
-		fmt.Fprintln(w)
+		rep.Row(vals...)
 	}
-	fmt.Fprintln(w, "\nSection 7.1.1: computing texel addresses 'far in advance of the cache")
-	fmt.Fprintln(w, "accesses' hides the ~50-cycle fill latency behind the FIFO")
+	rep.Note("")
+	rep.Note("%s", "Section 7.1.1: computing texel addresses 'far in advance of the cache")
+	rep.Note("%s", "accesses' hides the ~50-cycle fill latency behind the FIFO")
 	return nil
 }
 
@@ -134,14 +143,19 @@ func runPrefetch(ctx context.Context, cfg Config, w io.Writer) error {
 // texture footprint the second frame gains nothing (the paper's stated
 // reason for studying single frames); once the cache approaches the
 // footprint, frame two becomes nearly free.
-func runInterframe(ctx context.Context, cfg Config, w io.Writer) error {
+func runInterframe(ctx context.Context, cfg Config, rep report.Reporter) error {
 	const dt = 1.0 / 30 // one frame of 30Hz motion
 	sizes := []int{32 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
-	fmt.Fprintf(w, "%-8s %10s", "scene", "footprint")
-	for _, sz := range sizes {
-		fmt.Fprintf(w, "%16s", cache.FormatSize(sz))
+	cols := []report.Column{
+		{Name: "scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "footprint", Head: " %10s", Cell: " %10s"},
 	}
-	fmt.Fprintln(w, "    (frame1% -> frame2%)")
+	for _, sz := range sizes {
+		cols = append(cols, report.Column{Name: cache.FormatSize(sz), Head: "%16s", Cell: "%16s"})
+	}
+	// Header-only annotation column: rows supply no value for it.
+	cols = append(cols, report.Column{Name: "    (frame1% -> frame2%)", Head: "%s"})
+	rep.BeginTable("interframe", cols)
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		s, err := buildScene(cfg, name)
 		if err != nil {
@@ -167,7 +181,7 @@ func runInterframe(ctx context.Context, cfg Config, w io.Writer) error {
 		sd := cache.NewStackDist(128)
 		tr0.Replay(sd)
 		footprint := sd.DistinctLines() * 128
-		fmt.Fprintf(w, "%-8s %10s", name, cache.FormatSize(footprint))
+		vals := []any{name, cache.FormatSize(footprint)}
 		for _, sz := range sizes {
 			c := cache.New(cache.Config{SizeBytes: sz, LineBytes: 128, Ways: 2})
 			tr0.Replay(c.Sink())
@@ -177,12 +191,13 @@ func runInterframe(ctx context.Context, cfg Config, w io.Writer) error {
 				Accesses: c.Stats().Accesses - f1.Accesses,
 				Misses:   c.Stats().Misses - f1.Misses,
 			}
-			fmt.Fprintf(w, "%16s", fmt.Sprintf("%.2f->%.2f", 100*f1.MissRate(), 100*f2.MissRate()))
+			vals = append(vals, fmt.Sprintf("%.2f->%.2f", 100*f1.MissRate(), 100*f2.MissRate()))
 		}
-		fmt.Fprintln(w)
+		rep.Row(vals...)
 	}
-	fmt.Fprintln(w, "\nSection 3.1.2: 'we generally do not expect our caches to exploit temporal")
-	fmt.Fprintln(w, "locality between consecutive frames because the cache sizes ... are much")
-	fmt.Fprintln(w, "smaller than the amount of texture data used by a single frame'")
+	rep.Note("")
+	rep.Note("%s", "Section 3.1.2: 'we generally do not expect our caches to exploit temporal")
+	rep.Note("%s", "locality between consecutive frames because the cache sizes ... are much")
+	rep.Note("%s", "smaller than the amount of texture data used by a single frame'")
 	return nil
 }

@@ -3,10 +3,10 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"texcache/internal/cache"
 	"texcache/internal/perf"
+	"texcache/internal/report"
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
 )
@@ -64,20 +64,21 @@ func table71Cols() []table71Col {
 // runTable71 reproduces Table 7.1: memory bandwidth in MB/s (miss rate in
 // parentheses) for each scene and cache configuration, using the padded
 // blocked representation and 8x8-pixel tiled rasterization.
-func runTable71(ctx context.Context, cfg Config, w io.Writer) error {
+func runTable71(ctx context.Context, cfg Config, rep report.Reporter) error {
 	model := perf.Default()
 	cols := table71Cols()
 
-	fmt.Fprintf(w, "%-8s", "scene")
+	rcols := []report.Column{{Name: "scene", Head: "%-8s", Cell: "%-8s"}}
 	for _, c := range cols {
 		assoc := "2way"
 		if c.ways == 1 {
 			assoc = "DM"
 		}
-		fmt.Fprintf(w, "%16s", fmt.Sprintf("%s/%s/%dB",
-			cache.FormatSize(c.cacheSize), assoc, c.lineBytes))
+		rcols = append(rcols, report.Column{
+			Name: fmt.Sprintf("%s/%s/%dB", cache.FormatSize(c.cacheSize), assoc, c.lineBytes),
+			Head: "%16s", Cell: "%16s"})
 	}
-	fmt.Fprintln(w)
+	rep.BeginTable("bandwidth", rcols)
 
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		trav := defaultTraversalFor(name)
@@ -104,16 +105,17 @@ func runTable71(ctx context.Context, cfg Config, w io.Writer) error {
 			rates[bw] = r
 		}
 		next := map[int]int{}
-		fmt.Fprintf(w, "%-8s", name)
+		vals := []any{name}
 		for _, col := range cols {
 			mr := rates[col.blockW][next[col.blockW]]
 			next[col.blockW]++
 			bwMBps := model.BandwidthBytesPerSecond(mr, col.lineBytes) / 1e6
-			fmt.Fprintf(w, "%16s", fmt.Sprintf("%.0f (%.2f)", bwMBps, 100*mr))
+			vals = append(vals, fmt.Sprintf("%.0f (%.2f)", bwMBps, 100*mr))
 		}
-		fmt.Fprintln(w)
+		rep.Row(vals...)
 	}
-	fmt.Fprintf(w, "\nuncached requirement: %.1f GB/s; paper's 32KB bandwidths span ~100-450 MB/s (3-15x reduction)\n",
+	rep.Note("")
+	rep.Note("uncached requirement: %.1f GB/s; paper's 32KB bandwidths span ~100-450 MB/s (3-15x reduction)",
 		model.UncachedBandwidthBytesPerSecond()/1e9)
 	return nil
 }
@@ -121,8 +123,13 @@ func runTable71(ctx context.Context, cfg Config, w io.Writer) error {
 // runBanks reproduces the Section 7.1.2 analysis: with texels morton-
 // interleaved across four banks, every bilinear footprint reads in one
 // cycle; linear interleaving conflicts on power-of-two strides.
-func runBanks(ctx context.Context, cfg Config, w io.Writer) error {
-	fmt.Fprintf(w, "%-8s %16s %16s %9s\n", "scene", "morton cyc/quad", "linear cyc/quad", "speedup")
+func runBanks(ctx context.Context, cfg Config, rep report.Reporter) error {
+	rep.BeginTable("banks", []report.Column{
+		{Name: "scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "morton cyc/quad", Head: " %16s", Cell: " %16.3f"},
+		{Name: "linear cyc/quad", Head: " %16s", Cell: " %16.3f"},
+		{Name: "speedup", Head: " %9s", Cell: " %8.2fx"},
+	})
 	for _, name := range cfg.sceneList(scenes.Names()...) {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -139,9 +146,9 @@ func runBanks(ctx context.Context, cfg Config, w io.Writer) error {
 		}); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-8s %16.3f %16.3f %8.2fx\n", name,
-			a.CyclesPerQuadMorton(), a.CyclesPerQuadLinear(), a.Speedup())
+		rep.Row(name, a.CyclesPerQuadMorton(), a.CyclesPerQuadLinear(), a.Speedup())
 	}
-	fmt.Fprintln(w, "\npaper: morton order allows up to four texels per cycle conflict-free")
+	rep.Note("")
+	rep.Note("%s", "paper: morton order allows up to four texels per cycle conflict-free")
 	return nil
 }

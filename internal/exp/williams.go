@@ -2,11 +2,10 @@ package exp
 
 import (
 	"context"
-	"fmt"
-	"io"
 
 	"texcache/internal/banks"
 	"texcache/internal/cache"
+	"texcache/internal/report"
 	"texcache/internal/texture"
 )
 
@@ -34,9 +33,15 @@ func (b *bankAnalyzer) Speedup() float64             { return b.a.Speedup() }
 // nonblocked representation: the component planes separated by powers of
 // two bytes triple the access count and collide in low-associativity
 // caches, which is why Section 5.1 rejects it as the baseline.
-func runWilliams(ctx context.Context, cfg Config, w io.Writer) error {
-	fmt.Fprintf(w, "%-8s %-12s %10s %12s %12s %12s\n",
-		"scene", "layout", "accesses", "DM miss%", "2-way miss%", "FA miss%")
+func runWilliams(ctx context.Context, cfg Config, rep report.Reporter) error {
+	rep.BeginTable("williams", []report.Column{
+		{Name: "scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "layout", Head: " %-12s", Cell: " %-12s"},
+		{Name: "accesses", Head: " %10s", Cell: " %10d"},
+		{Name: "DM miss%", Head: " %12s", Cell: " %11.2f%%"},
+		{Name: "2-way miss%", Head: " %12s", Cell: " %11.2f%%"},
+		{Name: "FA miss%", Head: " %12s", Cell: " %11.2f%%"},
+	})
 	for _, name := range cfg.sceneList("goblet", "guitar") {
 		s, err := buildScene(cfg, name)
 		if err != nil {
@@ -58,11 +63,11 @@ func runWilliams(ctx context.Context, cfg Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%-8s %-12s %10d %11.2f%% %11.2f%% %11.2f%%\n",
-				name, spec.Kind, tr.Len(), 100*row[0], 100*row[1], 100*row[2])
+			rep.Row(name, spec.Kind, tr.Len(), 100*row[0], 100*row[1], 100*row[2])
 		}
 	}
-	fmt.Fprintln(w, "\npaper: the Williams layout needs three accesses per texel and its")
-	fmt.Fprintln(w, "power-of-two component strides conflict in the cache")
+	rep.Note("")
+	rep.Note("%s", "paper: the Williams layout needs three accesses per texel and its")
+	rep.Note("%s", "power-of-two component strides conflict in the cache")
 	return nil
 }

@@ -3,13 +3,13 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
 	"math"
 
 	"texcache/internal/cache"
 	"texcache/internal/geom"
 	"texcache/internal/pipeline"
 	"texcache/internal/raster"
+	"texcache/internal/report"
 	"texcache/internal/texture"
 	"texcache/internal/vecmath"
 )
@@ -32,7 +32,7 @@ func init() {
 // scanline streams down texture columns, and the working set approaches
 // the analytic bound of line size x screen height; 45 degrees lands
 // between. A blocked reference shows the orientation dependence vanish.
-func runWorstCase(ctx context.Context, cfg Config, w io.Writer) error {
+func runWorstCase(ctx context.Context, cfg Config, rep report.Reporter) error {
 	screen := 1024 / cfg.scale()
 	if screen < 64 {
 		screen = 64
@@ -45,17 +45,18 @@ func runWorstCase(ctx context.Context, cfg Config, w io.Writer) error {
 		ts = 64
 	}
 
-	fmt.Fprintf(w, "full-screen textured quad, %dx%d screen, %dx%d texture, 1:1 sampling\n",
+	rep.Note("full-screen textured quad, %dx%d screen, %dx%d texture, 1:1 sampling",
 		screen, screen, ts, ts)
-	fmt.Fprintf(w, "analytic bound (Section 5.2.3): 32B line x %d screen rows = %s\n\n",
+	rep.Note("analytic bound (Section 5.2.3): 32B line x %d screen rows = %s",
 		screen, cache.FormatSize(32*screen))
+	rep.Note("")
 
 	for _, spec := range []texture.LayoutSpec{
 		{Kind: texture.NonBlockedKind},
 		{Kind: texture.BlockedKind, BlockW: 4},
 	} {
-		fmt.Fprintf(w, "--- %s representation ---\n", spec.Kind)
-		printCurveHeader(w, "texture angle")
+		rep.Note("--- %s representation ---", spec.Kind)
+		beginCurve(rep, fmt.Sprintf("worstcase-%s", spec.Kind), "texture angle")
 		for _, deg := range []float64{0, 45, 90} {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -66,12 +67,12 @@ func runWorstCase(ctx context.Context, cfg Config, w io.Writer) error {
 			}
 			sd := cache.NewStackDist(32)
 			tr.Replay(sd)
-			printCurve(w, fmt.Sprintf("%.0f deg", deg), sd.Curve(curveSizes()))
+			curveRow(rep, fmt.Sprintf("%.0f deg", deg), sd.Curve(curveSizes()))
 		}
-		fmt.Fprintln(w)
+		rep.Note("")
 	}
-	fmt.Fprintln(w, "paper: the nonblocked representation is sensitive to the direction of")
-	fmt.Fprintln(w, "texture accesses; blocking removes the orientation dependence")
+	rep.Note("%s", "paper: the nonblocked representation is sensitive to the direction of")
+	rep.Note("%s", "texture accesses; blocking removes the orientation dependence")
 	return nil
 }
 

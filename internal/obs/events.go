@@ -1,0 +1,57 @@
+package obs
+
+import "time"
+
+// Event is one lifecycle notification: an experiment starting or
+// finishing, a frame rendered, a batch completing. Events are for
+// low-frequency milestones — per-frame and per-experiment, never
+// per-texel.
+type Event struct {
+	// Kind names the lifecycle point, dotted like metric names:
+	// "experiment.start", "experiment.done", "frame.rendered",
+	// "batch.done".
+	Kind string
+	// Name identifies the subject (experiment ID, scene name).
+	Name string
+	// Value carries an optional payload: elapsed nanoseconds for done
+	// events, frame index for frame events.
+	Value int64
+	// Time is when the event was emitted.
+	Time time.Time
+}
+
+// OnEvent registers a handler for every subsequent Emit. Handlers run
+// synchronously on the emitting goroutine and must be fast and
+// concurrency-safe. No-op on a nil registry.
+func (r *Registry) OnEvent(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	root := r.root
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	old := root.handlers.Load()
+	var next []func(Event)
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, fn)
+	root.handlers.Store(&next)
+}
+
+// Emit publishes one event to every registered handler. On a nil
+// registry, or with no handlers, it is a branch and an atomic load —
+// cheap enough for per-frame use.
+func (r *Registry) Emit(kind, name string, value int64) {
+	if r == nil {
+		return
+	}
+	hs := r.root.handlers.Load()
+	if hs == nil || len(*hs) == 0 {
+		return
+	}
+	e := Event{Kind: kind, Name: name, Value: value, Time: time.Now()}
+	for _, fn := range *hs {
+		fn(e)
+	}
+}

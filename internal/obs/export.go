@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published guards expvar names: expvar.Publish panics on duplicates,
+// and tests (or texsim re-runs in one process) may publish repeatedly.
+var published sync.Map // name -> *Registry holder
+
+// exportHolder lets a republished name track the latest registry instead
+// of panicking in expvar.
+type exportHolder struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+func (h *exportHolder) snapshot() map[string]any {
+	h.mu.Lock()
+	r := h.reg
+	h.mu.Unlock()
+	return r.Snapshot()
+}
+
+// PublishExpvar exposes the registry's snapshot as the named expvar
+// (visible at /debug/vars on any server with the expvar handler).
+// Publishing the same name again rebinds it to the new registry rather
+// than panicking.
+func PublishExpvar(name string, r *Registry) {
+	holder := &exportHolder{reg: r}
+	if prev, loaded := published.LoadOrStore(name, holder); loaded {
+		h := prev.(*exportHolder)
+		h.mu.Lock()
+		h.reg = r
+		h.mu.Unlock()
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return holder.snapshot() }))
+}
+
+// Serve starts a debug HTTP server on addr exposing /debug/vars (expvar,
+// including every registry published through PublishExpvar) and
+// /debug/pprof. It returns the bound listener — pass ":0" to let the
+// kernel pick a port and read the address back — and the server, whose
+// Close shuts it down. The server runs on a background goroutine; serve
+// errors after Close are discarded.
+func Serve(addr string) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln, nil
+}

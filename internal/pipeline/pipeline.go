@@ -93,6 +93,10 @@ func NewRenderer(width, height int) *Renderer {
 	}
 }
 
+// TexelFetches returns the number of logical texel reads the renderer's
+// sampler has performed, cumulative across frames.
+func (r *Renderer) TexelFetches() uint64 { return r.sampler.Fetches }
+
 // TextureByID returns the texture for a triangle's TexID, or nil when the
 // triangle is untextured.
 func (r *Renderer) TextureByID(id int) *texture.Texture {

@@ -1,0 +1,336 @@
+// Package report is the structured output layer of the experiment
+// harness. Experiments do not write raw text to an io.Writer; they emit
+// tables, rows and notes through the Reporter interface, and the caller
+// chooses the rendering: Text reproduces the classic fixed-width tables
+// byte-for-byte (pinned by the repository's golden tests), JSON emits
+// one machine-readable object per line for downstream tooling, and
+// Recording captures the stream so one run can be rendered both ways.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Column describes one column of a table: its header label plus the
+// fmt verbs the text renderer uses. Verbs carry their own separators
+// ("%-8s", " %12.1f", " %5dB"), so a column list reproduces a
+// fixed-width table layout exactly. Zero-value verbs default to "%s"
+// for the header and "%v" for cells.
+type Column struct {
+	// Name is the header label, and names the column in structured
+	// renderings.
+	Name string
+	// Head is the fmt verb for the header cell.
+	Head string
+	// Cell is the fmt verb for data cells. A column may be header-only
+	// (an annotation at the end of the header line); rows then supply
+	// fewer values than there are columns.
+	Cell string
+}
+
+func (c Column) head() string {
+	if c.Head == "" {
+		return "%s"
+	}
+	return c.Head
+}
+
+func (c Column) cell() string {
+	if c.Cell == "" {
+		return "%v"
+	}
+	return c.Cell
+}
+
+// Reporter receives an experiment's output as structure rather than
+// bytes. Implementations must tolerate any value types in Row; the
+// column verbs say how the text form renders them.
+type Reporter interface {
+	// BeginTable starts a table: the header renders immediately and
+	// the columns apply to every following Row until the next
+	// BeginTable.
+	BeginTable(id string, cols []Column)
+	// Row emits one data row under the current table.
+	Row(values ...any)
+	// Note emits one free-form line (section markers, commentary, the
+	// paper's reference numbers).
+	Note(format string, args ...any)
+}
+
+// Text renders the report as the classic fixed-width tables, identical
+// to the output the experiments historically wrote straight to an
+// io.Writer.
+type Text struct {
+	w    io.Writer
+	cols []Column
+	err  error
+}
+
+// NewText returns a Reporter writing fixed-width text to w.
+func NewText(w io.Writer) *Text { return &Text{w: w} }
+
+// Err returns the first write error encountered, if any.
+func (t *Text) Err() error { return t.err }
+
+func (t *Text) printf(format string, args ...any) {
+	if _, err := fmt.Fprintf(t.w, format, args...); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// BeginTable prints the header line from the column labels.
+func (t *Text) BeginTable(id string, cols []Column) {
+	t.cols = cols
+	for _, c := range cols {
+		t.printf(c.head(), c.Name)
+	}
+	t.printf("\n")
+}
+
+// Row prints one data line using the current table's cell verbs.
+func (t *Text) Row(values ...any) {
+	for i, v := range values {
+		verb := "%v"
+		if i < len(t.cols) {
+			verb = t.cols[i].cell()
+		}
+		t.printf(verb, v)
+	}
+	t.printf("\n")
+}
+
+// Note prints one free-form line.
+func (t *Text) Note(format string, args ...any) {
+	t.printf(format, args...)
+	t.printf("\n")
+}
+
+// JSON renders the report as newline-delimited JSON: one object per
+// table header, row or note. Every line carries "type" ("table", "row"
+// or "note"); rows reference the table id they belong to, and when Exp
+// is set every line is stamped with the experiment id, so the streams
+// of a whole batch can share one pipe.
+type JSON struct {
+	w   io.Writer
+	err error
+	// Exp, when non-empty, is stamped on every emitted line as "exp".
+	Exp   string
+	table string
+	cols  []Column
+}
+
+// NewJSON returns a Reporter writing NDJSON to w.
+func NewJSON(w io.Writer) *JSON { return &JSON{w: w} }
+
+// Err returns the first write error encountered, if any.
+func (j *JSON) Err() error { return j.err }
+
+// emit writes one NDJSON line. Fields are marshaled by hand so the key
+// order is stable ("exp", "type", ...) and floats stay plain.
+func (j *JSON) emit(typ string, fields ...[2]any) {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	if j.Exp != "" {
+		sb.WriteString(`"exp":`)
+		writeJSONValue(&sb, j.Exp)
+		sb.WriteByte(',')
+	}
+	sb.WriteString(`"type":`)
+	writeJSONValue(&sb, typ)
+	for _, f := range fields {
+		sb.WriteByte(',')
+		writeJSONValue(&sb, f[0])
+		sb.WriteByte(':')
+		writeJSONValue(&sb, f[1])
+	}
+	sb.WriteString("}\n")
+	if _, err := io.WriteString(j.w, sb.String()); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// BeginTable emits the table header object with the column names.
+func (j *JSON) BeginTable(id string, cols []Column) {
+	j.table = id
+	j.cols = cols
+	names := make([]any, 0, len(cols))
+	for _, c := range cols {
+		names = append(names, strings.TrimSpace(c.Name))
+	}
+	j.emit("table", [2]any{"table", id}, [2]any{"columns", names})
+}
+
+// Row emits one row object referencing the current table.
+func (j *JSON) Row(values ...any) {
+	vals := make([]any, len(values))
+	for i, v := range values {
+		vals[i] = jsonValue(v)
+	}
+	j.emit("row", [2]any{"table", j.table}, [2]any{"values", vals})
+}
+
+// Note emits one note object with the formatted text.
+func (j *JSON) Note(format string, args ...any) {
+	j.emit("note", [2]any{"text", fmt.Sprintf(format, args...)})
+}
+
+// jsonValue maps an arbitrary row value onto a JSON-safe one: numbers
+// and strings pass through (strings trimmed of the layout padding),
+// everything else renders via its String method or fmt.
+func jsonValue(v any) any {
+	switch x := v.(type) {
+	case nil, bool:
+		return x
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64:
+		return x
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Sprint(x)
+		}
+		return x
+	case float32:
+		return jsonValue(float64(x))
+	case string:
+		return strings.TrimSpace(x)
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// writeJSONValue marshals the small value vocabulary emit uses. Strings
+// are escaped per RFC 8259; numbers render via strconv-style fmt verbs.
+func writeJSONValue(sb *strings.Builder, v any) {
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("null")
+	case bool:
+		fmt.Fprintf(sb, "%t", x)
+	case string:
+		writeJSONString(sb, x)
+	case []any:
+		sb.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeJSONValue(sb, jsonValue(e))
+		}
+		sb.WriteByte(']')
+	case float64:
+		// %g keeps integers integral and avoids exponent noise for the
+		// magnitudes experiments emit.
+		fmt.Fprintf(sb, "%g", x)
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64:
+		fmt.Fprintf(sb, "%d", x)
+	default:
+		writeJSONString(sb, fmt.Sprint(x))
+	}
+}
+
+// writeJSONString escapes s as a JSON string literal.
+func writeJSONString(sb *strings.Builder, s string) {
+	sb.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(sb, `\u%04x`, r)
+			} else {
+				sb.WriteRune(r)
+			}
+		}
+	}
+	sb.WriteByte('"')
+}
+
+// opKind discriminates recorded operations.
+type opKind byte
+
+const (
+	opTable opKind = iota
+	opRow
+	opNote
+)
+
+// recOp is one recorded Reporter call. Notes are formatted at record
+// time so replays are cheap and deterministic.
+type recOp struct {
+	kind opKind
+	id   string
+	cols []Column
+	vals []any
+	text string
+}
+
+// Recording captures a report stream so a single experiment run can be
+// rendered several ways (the engine records once and serves both the
+// text and JSON forms). The zero value is ready to use.
+type Recording struct {
+	ops []recOp
+}
+
+// BeginTable records a table header.
+func (r *Recording) BeginTable(id string, cols []Column) {
+	r.ops = append(r.ops, recOp{kind: opTable, id: id, cols: cols})
+}
+
+// Row records one data row.
+func (r *Recording) Row(values ...any) {
+	r.ops = append(r.ops, recOp{kind: opRow, vals: values})
+}
+
+// Note records one formatted line.
+func (r *Recording) Note(format string, args ...any) {
+	r.ops = append(r.ops, recOp{kind: opNote, text: fmt.Sprintf(format, args...)})
+}
+
+// Replay renders the recorded stream into dst in the original order.
+func (r *Recording) Replay(dst Reporter) {
+	for _, op := range r.ops {
+		switch op.kind {
+		case opTable:
+			dst.BeginTable(op.id, op.cols)
+		case opRow:
+			dst.Row(op.vals...)
+		case opNote:
+			dst.Note("%s", op.text)
+		}
+	}
+}
+
+// Text renders the recording as the fixed-width text form.
+func (r *Recording) Text() string {
+	var sb strings.Builder
+	r.Replay(NewText(&sb))
+	return sb.String()
+}
+
+// Len returns the number of recorded operations.
+func (r *Recording) Len() int { return len(r.ops) }
+
+// Rows returns the number of recorded data rows, a cheap integrity
+// signal for tests and progress displays.
+func (r *Recording) Rows() int {
+	n := 0
+	for _, op := range r.ops {
+		if op.kind == opRow {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,189 @@
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fakeStringer exercises the Stringer fallback of jsonValue.
+type fakeStringer struct{}
+
+func (fakeStringer) String() string { return "stringy" }
+
+// emitSample drives a small report through rep: a two-column table, two
+// rows, and a note.
+func emitSample(rep Reporter) {
+	rep.BeginTable("sizes", []Column{
+		{Name: "scene", Head: "%-8s", Cell: "%-8s"},
+		{Name: "1KB", Head: "%9s", Cell: "%8.2f%%"},
+	})
+	rep.Row("goblet", 12.5)
+	rep.Row("town", 0.25)
+	rep.Note("paper: %s", "reference")
+}
+
+func TestTextRendering(t *testing.T) {
+	var sb strings.Builder
+	rep := NewText(&sb)
+	emitSample(rep)
+	want := "scene         1KB\n" +
+		"goblet     12.50%\n" +
+		"town        0.25%\n" +
+		"paper: reference\n"
+	if sb.String() != want {
+		t.Errorf("text rendering:\n%q\nwant:\n%q", sb.String(), want)
+	}
+	if rep.Err() != nil {
+		t.Errorf("Err() = %v", rep.Err())
+	}
+}
+
+func TestTextDefaultsAndExtraValues(t *testing.T) {
+	var sb strings.Builder
+	rep := NewText(&sb)
+	rep.BeginTable("t", []Column{{Name: "a"}})
+	rep.Row(1, 2) // second value beyond the declared columns
+	if got := sb.String(); got != "a\n12\n" {
+		t.Errorf("default verbs: %q", got)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ budget int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+func TestTextWriteErrorSurfaces(t *testing.T) {
+	rep := NewText(&failWriter{budget: 4})
+	emitSample(rep)
+	if rep.Err() == nil {
+		t.Error("write failure not surfaced")
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	var sb strings.Builder
+	rep := NewJSON(&sb)
+	rep.Exp = "fig5.2"
+	emitSample(rep)
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), sb.String())
+	}
+	var header struct {
+		Exp     string   `json:"exp"`
+		Type    string   `json:"type"`
+		Table   string   `json:"table"`
+		Columns []string `json:"columns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header line unparseable: %v\n%s", err, lines[0])
+	}
+	if header.Exp != "fig5.2" || header.Type != "table" || header.Table != "sizes" ||
+		len(header.Columns) != 2 || header.Columns[0] != "scene" {
+		t.Errorf("header = %+v", header)
+	}
+	var row struct {
+		Type   string `json:"type"`
+		Table  string `json:"table"`
+		Values []any  `json:"values"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &row); err != nil {
+		t.Fatalf("row line unparseable: %v\n%s", err, lines[1])
+	}
+	if row.Type != "row" || row.Table != "sizes" || len(row.Values) != 2 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.Values[0] != "goblet" || row.Values[1] != 12.5 {
+		t.Errorf("row values = %v", row.Values)
+	}
+	var note struct {
+		Type string `json:"type"`
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &note); err != nil {
+		t.Fatalf("note line unparseable: %v\n%s", err, lines[3])
+	}
+	if note.Type != "note" || note.Text != "paper: reference" {
+		t.Errorf("note = %+v", note)
+	}
+}
+
+func TestJSONValueSanitization(t *testing.T) {
+	var sb strings.Builder
+	rep := NewJSON(&sb)
+	rep.BeginTable("t", nil)
+	rep.Row("  padded  ", math.NaN(), math.Inf(1), fakeStringer{}, uint64(7), nil, true)
+	line := strings.Split(sb.String(), "\n")[1]
+	var row struct {
+		Values []any `json:"values"`
+	}
+	if err := json.Unmarshal([]byte(line), &row); err != nil {
+		t.Fatalf("row unparseable: %v\n%s", err, line)
+	}
+	want := []any{"padded", "NaN", "+Inf", "stringy", float64(7), nil, true}
+	if len(row.Values) != len(want) {
+		t.Fatalf("values = %v", row.Values)
+	}
+	for i := range want {
+		if row.Values[i] != want[i] {
+			t.Errorf("values[%d] = %#v, want %#v", i, row.Values[i], want[i])
+		}
+	}
+}
+
+func TestJSONEscaping(t *testing.T) {
+	var sb strings.Builder
+	rep := NewJSON(&sb)
+	rep.Note("quote %q and\ttab", "x")
+	var note struct {
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &note); err != nil {
+		t.Fatalf("escaped note unparseable: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(note.Text, `"x"`) || !strings.Contains(note.Text, "\t") {
+		t.Errorf("note round-trip = %q", note.Text)
+	}
+}
+
+func TestRecordingReplayMatchesDirect(t *testing.T) {
+	var direct strings.Builder
+	emitSample(NewText(&direct))
+
+	rec := &Recording{}
+	emitSample(rec)
+	if rec.Text() != direct.String() {
+		t.Errorf("recording text:\n%q\nwant:\n%q", rec.Text(), direct.String())
+	}
+	if rec.Len() != 4 || rec.Rows() != 2 {
+		t.Errorf("Len=%d Rows=%d, want 4/2", rec.Len(), rec.Rows())
+	}
+
+	// JSON via replay matches JSON emitted directly.
+	var viaReplay, directJSON strings.Builder
+	rec.Replay(NewJSON(&viaReplay))
+	emitSample(NewJSON(&directJSON))
+	if viaReplay.String() != directJSON.String() {
+		t.Errorf("replayed JSON:\n%s\nwant:\n%s", viaReplay.String(), directJSON.String())
+	}
+}
+
+// TestNotePercentSafety pins that replaying a recorded note containing
+// fmt verbs does not re-interpret them.
+func TestNotePercentSafety(t *testing.T) {
+	rec := &Recording{}
+	rec.Note("miss rate 5%% at %s", "32KB")
+	if got, want := rec.Text(), "miss rate 5% at 32KB\n"; got != want {
+		t.Errorf("note = %q, want %q", got, want)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"texcache/internal/cache"
 	"texcache/internal/cost"
 	"texcache/internal/geom"
+	"texcache/internal/obs"
 	"texcache/internal/pipeline"
 	"texcache/internal/raster"
 	"texcache/internal/texture"
@@ -111,6 +112,15 @@ func (s *Scene) Render(opt RenderOptions) (*pipeline.Renderer, error) {
 	for _, d := range s.Draws {
 		r.DrawMesh(d.Mesh, d.Model, cam)
 	}
+	// Bulk-flush frame statistics to the attached registry — one update
+	// per frame, never per fragment or texel.
+	if reg := obs.Default(); reg != nil {
+		rend := reg.Sub("render")
+		rend.Counter("frames").Inc()
+		rend.Counter("fragments").Add(r.Stats.FragmentsTextured)
+		rend.Counter("texel_fetches").Add(r.TexelFetches())
+		reg.Emit("frame.rendered", s.Name, int64(r.Stats.FragmentsTextured))
+	}
 	return r, nil
 }
 
@@ -191,6 +201,23 @@ func ByName(name string, scale int) *Scene {
 		return b(scale)
 	}
 	return nil
+}
+
+// UnknownSceneError reports a scene name that is not one of the four
+// benchmarks.
+type UnknownSceneError struct{ Name string }
+
+func (e *UnknownSceneError) Error() string {
+	return "texcache: unknown scene " + e.Name
+}
+
+// ByNameChecked builds the named scene at the given scale, returning an
+// *UnknownSceneError instead of nil for names outside the benchmark set.
+func ByNameChecked(name string, scale int) (*Scene, error) {
+	if b, ok := Builders()[name]; ok {
+		return b(scale), nil
+	}
+	return nil, &UnknownSceneError{Name: name}
 }
 
 // div scales a dimension down, keeping a floor of 1.

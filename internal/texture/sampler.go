@@ -100,6 +100,10 @@ type Sampler struct {
 	Sink     cache.Sink
 	OnAccess func(AccessEvent)
 
+	// Fetches counts logical texel reads (one per fetch call, before
+	// address expansion), the pipeline's texel-fetch statistic.
+	Fetches uint64
+
 	addrBuf []uint64 // scratch, reused across fetches
 }
 
@@ -199,6 +203,7 @@ func wrap(mode WrapMode, x, size int) int {
 // fetch reads one texel after wrapping, emitting its memory address(es)
 // and access event.
 func (s *Sampler) fetch(tex *Texture, level, tx, ty int, kind AccessKind) Color {
+	s.Fetches++
 	im := tex.Mip.Levels[level]
 	tu := wrap(tex.Wrap, tx, im.W)
 	tv := wrap(tex.Wrap, ty, im.H)

@@ -8,6 +8,17 @@ import (
 	"texcache"
 )
 
+// mustScene builds a benchmark scene through the checked lookup, failing
+// the test on unknown names.
+func mustScene(tb testing.TB, name string, scale int) *texcache.Scene {
+	tb.Helper()
+	s, err := texcache.SceneByNameChecked(name, scale)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
 // TestPublicAPIRenderAndSimulate drives the full public surface: build a
 // texture, render geometry, trace the accesses, replay through caches.
 func TestPublicAPIRenderAndSimulate(t *testing.T) {
@@ -40,8 +51,11 @@ func TestPublicAPIRenderAndSimulate(t *testing.T) {
 		t.Fatal("nothing rendered through the public API")
 	}
 
-	c := texcache.NewClassifyingCache(texcache.CacheConfig{
+	c, err := texcache.NewClassifyingCache(texcache.CacheConfig{
 		SizeBytes: 4 << 10, LineBytes: 64, Ways: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	trace.Replay(c.Sink())
 	s := c.Stats()
 	if s.Accesses != uint64(trace.Len()) {
@@ -63,10 +77,7 @@ func TestSceneFacade(t *testing.T) {
 	if len(names) != 4 {
 		t.Fatalf("scene names = %v", names)
 	}
-	s := texcache.SceneByName("goblet", 8)
-	if s == nil {
-		t.Fatal("goblet missing")
-	}
+	s := mustScene(t, "goblet", 8)
 	tr, r, err := s.Trace(texcache.LayoutSpec{Kind: texcache.NonBlocked}, s.DefaultTraversal())
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +132,7 @@ func TestMemoryModelFacades(t *testing.T) {
 		t.Errorf("dram facade stats = %+v", d.Stats())
 	}
 
-	s := texcache.SceneByName("goblet", 8)
+	s := mustScene(t, "goblet", 8)
 	tr, _, err := s.Trace(texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8},
 		s.DefaultTraversal())
 	if err != nil {
@@ -139,7 +150,7 @@ func TestMemoryModelFacades(t *testing.T) {
 }
 
 func TestParallelFacade(t *testing.T) {
-	s := texcache.SceneByName("goblet", 8)
+	s := mustScene(t, "goblet", 8)
 	res, err := texcache.RunParallel(s, texcache.TileInterleave, 2, 8,
 		texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8},
 		texcache.CacheConfig{SizeBytes: 4 << 10, LineBytes: 128, Ways: 2})
@@ -201,8 +212,11 @@ func TestSectoredFacade(t *testing.T) {
 	if sc.Stats().Misses != 2 {
 		t.Errorf("sectored facade stats = %+v", sc.Stats())
 	}
-	c := texcache.NewCache(texcache.CacheConfig{
+	c, err := texcache.NewCache(texcache.CacheConfig{
 		SizeBytes: 1 << 10, LineBytes: 32, Ways: 2, Policy: texcache.ReplaceFIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.Access(0)
 	if !c.Access(0) {
 		t.Error("FIFO policy facade broken")
