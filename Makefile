@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and every PR) must keep green.
-.PHONY: ci vet build staticcheck test golden bench
+.PHONY: ci vet build staticcheck deprecated test golden cover bench
 
-ci: vet build staticcheck test
+ci: vet build staticcheck deprecated test cover
 
 vet:
 	go vet ./...
@@ -18,6 +18,15 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
 	fi
 
+# The public API carries no deprecated symbols: deprecations are removed
+# in the next PR, not accumulated. This is the grep half of staticcheck's
+# SA1019 discipline and runs even where staticcheck is not installed.
+deprecated:
+	@if grep -rn --include='*.go' '^// Deprecated:' . ; then \
+		echo "deprecated symbols remain; remove them and migrate callers" ; \
+		exit 1 ; \
+	fi
+
 # The race leg skips the golden sweep (build-tag gated: byte-identity
 # gains nothing from the race detector and costs ~10x); the golden leg
 # reruns it without -race.
@@ -27,9 +36,23 @@ test:
 
 golden:
 	go test -count=1 -run TestGoldenExperimentOutputs .
+	go test -count=1 -run '^Fuzz' ./internal/cache ./internal/texture
+
+# cover enforces ratcheted coverage floors on the simulator-core
+# packages: raise a floor when coverage improves, never lower it.
+cover:
+	@set -e; \
+	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ; do \
+		pkg=$${pf%:*} ; floor=$${pf#*:} ; \
+		pct=$$(go test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p') ; \
+		echo "coverage $$pkg: $$pct% (floor $$floor%)" ; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit !(p+0 >= f+0) }' || { \
+			echo "coverage of $$pkg fell below the $$floor% floor" ; exit 1 ; } ; \
+	done
 
 # bench runs the engine-focused benchmark set and writes the parsed
-# results to BENCH_engine.json for regression tracking.
+# results to BENCH_engine.json for regression tracking. The TraceGen
+# pair measures the tile-parallel render path against the serial scan.
 bench:
-	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist' \
+	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen' \
 		-benchmem -count 1 . | go run ./cmd/benchjson -o BENCH_engine.json

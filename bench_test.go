@@ -125,6 +125,36 @@ func BenchmarkEngineBatch(b *testing.B) {
 	}
 }
 
+// --- Tile-parallel render benchmarks --------------------------------
+
+// benchTraceGen generates all four benchmark scenes' traces at one
+// worker count per iteration. The Serial/Parallel pair measures the
+// tile-pass speedup recorded in BENCH_engine.json; the parallel leg
+// needs a multi-core host to show it (on one core the tile pass is the
+// serial scan plus merge overhead).
+func benchTraceGen(b *testing.B, workers int) {
+	layout := texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8}
+	var scenes []*texcache.Scene
+	for _, name := range []string{"flight", "guitar", "goblet", "town"} {
+		scenes = append(scenes, mustScene(b, name, benchScale()))
+	}
+	b.ResetTimer()
+	var addrs uint64
+	for i := 0; i < b.N; i++ {
+		for _, s := range scenes {
+			tr, _, err := s.TraceParallel(layout, s.DefaultTraversal(), workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs += uint64(len(tr.Addrs))
+		}
+	}
+	b.ReportMetric(float64(addrs)/b.Elapsed().Seconds(), "addrs/s")
+}
+
+func BenchmarkTraceGenSerial(b *testing.B)   { benchTraceGen(b, 1) }
+func BenchmarkTraceGenParallel(b *testing.B) { benchTraceGen(b, 4) }
+
 // --- Simulator micro-benchmarks -------------------------------------
 
 // gobletTrace renders the Goblet benchmark once and returns its trace.

@@ -36,8 +36,8 @@ func main() {
 }
 
 func run(sceneName string, scale int, out, order string, tile int) error {
-	s := scenes.ByName(sceneName, scale)
-	if s == nil {
+	s, err := scenes.ByNameChecked(sceneName, scale)
+	if err != nil {
 		return fmt.Errorf("unknown scene %q (have %s)", sceneName, strings.Join(scenes.Names(), ", "))
 	}
 	trav := s.DefaultTraversal()

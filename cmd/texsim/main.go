@@ -12,6 +12,7 @@
 //	texsim -list
 //	texsim -exp fig5.2 -scale 2
 //	texsim -exp all -scale 4 -scenes town,guitar -workers 8
+//	texsim -exp fig6.2 -render-workers 4      # tile-parallel rendering
 //	texsim -exp table7.1 -json            # NDJSON rows on stdout
 //	texsim -exp all -metrics :8080        # expvar + pprof while running
 //
@@ -50,6 +51,7 @@ func run() int {
 		list     = flag.Bool("list", false, "list available experiments")
 		scenes   = flag.String("scenes", "", "comma-separated scene subset (default: each experiment's own)")
 		workers  = flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+		renderW  = flag.Int("render-workers", 0, "tile-parallel rasterization workers per render (0 = GOMAXPROCS, 1 = serial; traces are bit-identical at any setting)")
 		jsonOut  = flag.Bool("json", false, "emit NDJSON rows on stdout instead of text tables")
 		metrics  = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address (e.g. :8080, :0)")
 		progress = flag.Bool("progress", false, "print per-experiment completion lines on stderr")
@@ -82,7 +84,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "texsim: metrics at http://%s/debug/vars\n", ln.Addr())
 	}
 
-	cfg := texcache.ExperimentConfig{Scale: *scale}
+	cfg := texcache.ExperimentConfig{Scale: *scale, RenderWorkers: *renderW}
 	if *scenes != "" {
 		cfg.Scenes = strings.Split(*scenes, ",")
 	}
@@ -95,7 +97,10 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	opts := []texcache.ExperimentOption{texcache.WithWorkers(*workers)}
+	opts := []texcache.ExperimentOption{
+		texcache.WithWorkers(*workers),
+		texcache.WithRenderWorkers(*renderW),
+	}
 	if *progress {
 		opts = append(opts, texcache.WithProgress(func(p texcache.ExperimentProgress) {
 			status := "ok"

@@ -86,9 +86,9 @@ func record(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("record: -o is required")
 	}
-	s := scenes.ByName(*scene, *scale)
-	if s == nil {
-		return fmt.Errorf("unknown scene %q", *scene)
+	s, err := scenes.ByNameChecked(*scene, *scale)
+	if err != nil {
+		return err
 	}
 	spec, err := parseLayout(*layout, *block, *pad)
 	if err != nil {
@@ -142,9 +142,9 @@ func locate(args []string) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("locate: expected at least one address")
 	}
-	s := scenes.ByName(*scene, *scale)
-	if s == nil {
-		return fmt.Errorf("unknown scene %q", *scene)
+	s, err := scenes.ByNameChecked(*scene, *scale)
+	if err != nil {
+		return err
 	}
 	spec, err := parseLayout(*layout, *block, *pad)
 	if err != nil {

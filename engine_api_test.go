@@ -174,7 +174,7 @@ func TestCheckedConstructors(t *testing.T) {
 }
 
 // TestUnknownSceneError covers the typed error from the checked scene
-// lookup and the deprecated nil-returning wrapper.
+// lookup.
 func TestUnknownSceneError(t *testing.T) {
 	var ue *texcache.UnknownSceneError
 	if _, err := texcache.SceneByNameChecked("nope", 1); !errors.As(err, &ue) || ue.Name != "nope" {
@@ -182,8 +182,5 @@ func TestUnknownSceneError(t *testing.T) {
 	}
 	if s, err := texcache.SceneByNameChecked("goblet", 8); err != nil || s == nil {
 		t.Fatalf("SceneByNameChecked(goblet) = %v, %v", s, err)
-	}
-	if texcache.SceneByName("nope", 1) != nil {
-		t.Error("deprecated SceneByName(nope) != nil")
 	}
 }

@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStackDistMatchesFALRU is a differential test of the one-pass
+// stack-distance profiler against the direct simulator: for a random
+// address stream, MissesAt(S/L) must equal the miss count of a fully
+// associative LRU Cache (Ways == 0) of size S with line size L replayed
+// over the same stream — Mattson's inclusion property says one profile
+// pass answers every capacity at once, and the Fenwick-compacted
+// implementation must not drift from it at any (S, L) point.
+func TestStackDistMatchesFALRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+
+	// A stream with structure at several scales, so different line sizes
+	// and capacities all see a mix of hits, capacity misses and cold
+	// misses: random addresses inside a hot working set, a wandering
+	// medium-range pool, and occasional far streaming reads.
+	const n = 60000
+	addrs := make([]uint64, n)
+	base := uint64(0)
+	for i := range addrs {
+		switch r := rng.Float64(); {
+		case r < 0.5:
+			addrs[i] = uint64(rng.Intn(4 << 10)) // hot set, well within most capacities
+		case r < 0.9:
+			addrs[i] = base + uint64(rng.Intn(64<<10))
+		default:
+			base += uint64(rng.Intn(1 << 20))
+			addrs[i] = base
+		}
+	}
+
+	// ~20 random (size, line) points across the interesting range.
+	type point struct{ lineBytes, sizeBytes int }
+	seen := map[point]bool{}
+	var points []point
+	for len(points) < 20 {
+		line := 4 << rng.Intn(7)         // 4B .. 256B
+		lines := 1 << (1 + rng.Intn(10)) // 2 .. 1024 lines
+		p := point{line, line * lines}   // size stays a power of two
+		if !seen[p] {
+			seen[p] = true
+			points = append(points, p)
+		}
+	}
+
+	for _, p := range points {
+		sd := NewStackDist(p.lineBytes)
+		c := New(Config{SizeBytes: p.sizeBytes, LineBytes: p.lineBytes, Ways: 0})
+		for _, a := range addrs {
+			sd.Access(a)
+			c.Access(a)
+		}
+		want := c.Stats().Misses
+		got := sd.MissesAt(p.sizeBytes / p.lineBytes)
+		if got != want {
+			t.Errorf("size=%dB line=%dB: StackDist.MissesAt = %d, FA-LRU cache = %d",
+				p.sizeBytes, p.lineBytes, got, want)
+		}
+		// The profiler's cold-miss count must match too: both sides see
+		// the same distinct-line universe.
+		if sd.ColdMisses() != uint64(sd.DistinctLines()) {
+			t.Errorf("line=%dB: %d cold misses but %d distinct lines",
+				p.lineBytes, sd.ColdMisses(), sd.DistinctLines())
+		}
+	}
+}
+
+// TestStackDistMissRateAtMatchesFALRU covers the byte-denominated
+// wrapper on a smaller stream: MissRateAt(S) must equal the direct
+// simulator's miss rate exactly (both are ratios of identical integer
+// counts).
+func TestStackDistMissRateAtMatchesFALRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const line = 32
+	sd := NewStackDist(line)
+	c := New(Config{SizeBytes: 8 << 10, LineBytes: line, Ways: 0})
+	for i := 0; i < 20000; i++ {
+		a := uint64(rng.Intn(32 << 10))
+		sd.Access(a)
+		c.Access(a)
+	}
+	if got, want := sd.MissRateAt(8<<10), c.Stats().MissRate(); got != want {
+		t.Fatalf("MissRateAt(8K) = %v, FA-LRU = %v", got, want)
+	}
+}

@@ -58,6 +58,12 @@ type Options struct {
 	// hook through the worker pool before any experiment starts, so the
 	// first experiments don't serialize on shared renders.
 	Prewarm bool
+	// RenderWorkers is the tile-parallel rasterization worker count for
+	// the engine-installed trace cache. Zero or negative means
+	// GOMAXPROCS; one forces serial rendering. Traces (and therefore
+	// every experiment's output) are bit-identical at any setting.
+	// Ignored when the caller supplies its own Config.Traces provider.
+	RenderWorkers int
 	// Progress, when non-nil, is called once per finished experiment.
 	// Calls are serialized and Completed is monotonic, but they arrive in
 	// completion order, not request order. The callback runs on an engine
@@ -73,6 +79,10 @@ func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
 // WithPrewarm toggles rendering declared traces ahead of the experiments.
 func WithPrewarm(on bool) Option { return func(o *Options) { o.Prewarm = on } }
+
+// WithRenderWorkers sets the tile-parallel rasterization worker count
+// used by the engine's trace cache (0 = GOMAXPROCS, 1 = serial).
+func WithRenderWorkers(n int) Option { return func(o *Options) { o.RenderWorkers = n } }
 
 // WithProgress installs a per-experiment completion callback.
 func WithProgress(fn func(Progress)) Option { return func(o *Options) { o.Progress = fn } }
@@ -112,7 +122,9 @@ func (e *Engine) Run(ctx context.Context, ids []string, cfg exp.Config) (<-chan 
 		return nil, err
 	}
 	if cfg.Traces == nil {
-		cfg.Traces = NewTraceCache()
+		tc := NewTraceCache()
+		tc.RenderWorkers = e.opts.RenderWorkers
+		cfg.Traces = tc
 	}
 
 	out := make(chan Result, len(exps))

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"texcache/internal/cache"
@@ -37,6 +38,12 @@ type traceEntry struct {
 // Failed renders are not cached: the entry is removed so a later request
 // (perhaps with a different deadline) retries.
 type TraceCache struct {
+	// RenderWorkers is the tile-parallel rasterization worker count each
+	// render uses; zero or negative means GOMAXPROCS, one forces the
+	// serial reference path. Traces are bit-identical at any setting.
+	// Set before the first SceneTrace call.
+	RenderWorkers int
+
 	mu      sync.Mutex
 	entries map[traceCacheKey]*traceEntry
 	renders int // number of actual renders performed, for tests/metrics
@@ -85,7 +92,7 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 	tc.mu.Unlock()
 	reg.Counter("renders").Inc()
 
-	e.tr, e.err = renderTrace(ctx, ck)
+	e.tr, e.err = renderTrace(ctx, ck, tc.effectiveRenderWorkers())
 	if e.err != nil {
 		// Drop failed entries so the next request retries.
 		tc.mu.Lock()
@@ -96,8 +103,18 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 	return e.tr, e.err
 }
 
-// renderTrace performs the actual scene render for one cache slot.
-func renderTrace(ctx context.Context, ck traceCacheKey) (*cache.Trace, error) {
+// effectiveRenderWorkers resolves the configured worker count.
+func (tc *TraceCache) effectiveRenderWorkers() int {
+	if tc.RenderWorkers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return tc.RenderWorkers
+}
+
+// renderTrace performs the actual scene render for one cache slot, on
+// the tile-parallel path when workers allows it. The trace is
+// bit-identical either way.
+func renderTrace(ctx context.Context, ck traceCacheKey, workers int) (*cache.Trace, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -105,6 +122,6 @@ func renderTrace(ctx context.Context, ck traceCacheKey) (*cache.Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	tr, _, err := s.Trace(ck.key.Layout, ck.key.Traversal)
+	tr, _, err := s.TraceParallel(ck.key.Layout, ck.key.Traversal, workers)
 	return tr, err
 }

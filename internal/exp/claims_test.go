@@ -21,9 +21,9 @@ const claimScale = 4
 
 func claimTrace(t *testing.T, scene string, spec texture.LayoutSpec, trav raster.Traversal) *cache.Trace {
 	t.Helper()
-	s := scenes.ByName(scene, claimScale)
-	if s == nil {
-		t.Fatalf("unknown scene %s", scene)
+	s, err := scenes.ByNameChecked(scene, claimScale)
+	if err != nil {
+		t.Fatal(err)
 	}
 	tr, _, err := s.Trace(spec, trav)
 	if err != nil {
@@ -174,7 +174,10 @@ func TestClaimMortonConflictFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	s := scenes.ByName("goblet", claimScale)
+	s, err := scenes.ByNameChecked("goblet", claimScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := banks.New()
 	if _, err := s.Render(scenes.RenderOptions{
 		Layout:    texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8},

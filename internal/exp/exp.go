@@ -8,6 +8,7 @@ package exp
 
 import (
 	"context"
+	"runtime"
 	"sort"
 
 	"texcache/internal/cache"
@@ -47,6 +48,11 @@ type Config struct {
 	// experiment rendering privately — the hook through which the engine
 	// shares one memoized render across every experiment that needs it.
 	Traces TraceProvider
+	// RenderWorkers is the tile-parallel rasterization worker count for
+	// private renders (when Traces is nil): zero or negative means
+	// GOMAXPROCS, one forces the serial reference path. Traces are
+	// bit-identical at any setting, so results never depend on it.
+	RenderWorkers int
 }
 
 // DefaultConfig runs everything at half resolution, a good
@@ -152,8 +158,17 @@ func traceScene(ctx context.Context, cfg Config, name string, layout texture.Lay
 	if err != nil {
 		return nil, err
 	}
-	tr, _, err := s.Trace(layout, trav)
+	tr, _, err := s.TraceParallel(layout, trav, cfg.EffectiveRenderWorkers())
 	return tr, err
+}
+
+// EffectiveRenderWorkers returns the render worker count clamped to a
+// minimum of 1, defaulting to GOMAXPROCS.
+func (c Config) EffectiveRenderWorkers() int {
+	if c.RenderWorkers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.RenderWorkers
 }
 
 // curveSizes are the cache sizes (bytes) of the miss-rate-versus-size

@@ -292,7 +292,7 @@ func TestNeedsKeysRunnable(t *testing.T) {
 			continue
 		}
 		for _, k := range e.Needs(cfg) {
-			if s := scenes.ByName(k.Scene, cfg.scale()); s == nil {
+			if _, err := scenes.ByNameChecked(k.Scene, cfg.scale()); err != nil {
 				t.Errorf("%s: Needs names unknown scene %q", e.ID, k.Scene)
 			}
 		}

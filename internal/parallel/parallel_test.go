@@ -50,7 +50,10 @@ func TestPartitionString(t *testing.T) {
 
 func runStudy(t *testing.T, p Partition, n int) Result {
 	t.Helper()
-	s := scenes.ByName("goblet", 8)
+	s, err := scenes.ByNameChecked("goblet", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Run(s, p, n, 8,
 		texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8},
 		cache.Config{SizeBytes: 4 << 10, LineBytes: 128, Ways: 2})
@@ -99,7 +102,10 @@ func TestRunAggregateTrafficGrowsWithInterleaving(t *testing.T) {
 }
 
 func TestRunRejectsZeroGenerators(t *testing.T) {
-	s := scenes.ByName("goblet", 8)
+	s, err := scenes.ByNameChecked("goblet", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Run(s, StripPartition, 0, 8,
 		texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8},
 		cache.Config{SizeBytes: 4 << 10, LineBytes: 128, Ways: 2}); err == nil {

@@ -78,10 +78,23 @@ type Renderer struct {
 	// Counters optionally accumulates the Table 2.1 operation costs.
 	Counters *cost.Counters
 
+	// RenderWorkers above one enables tile-parallel rasterization: the
+	// frame's triangles are captured during DrawMesh and rasterized
+	// across that many goroutines when Finish is called, with the texel
+	// address stream merged back into the exact serial order. Zero or
+	// one keeps the fully serial path. Frames with an OnAccess or
+	// Counters consumer always render serially (those observe the
+	// stream as it is produced).
+	RenderWorkers int
+	// TilePx is the screen-tile edge for the parallel path
+	// (DefaultTilePx when zero or negative).
+	TilePx int
+
 	Stats FrameStats
 
-	sampler texture.Sampler
-	scratch [2][]clipVertex
+	sampler  texture.Sampler
+	scratch  [2][]clipVertex
+	deferred []screenTri
 }
 
 // NewRenderer returns a renderer for a width x height frame.
@@ -198,6 +211,9 @@ func (r *Renderer) toScreen(p clipVertex) raster.Vert {
 }
 
 func (r *Renderer) rasterizeScreenTri(v0, v1, v2 raster.Vert, tex *texture.Texture) {
+	if r.deferTri(v0, v1, v2, tex) {
+		return
+	}
 	r.sampler.Sink = r.Sink
 	r.sampler.OnAccess = r.OnAccess
 	texW, texH := 0, 0

@@ -1,0 +1,305 @@
+// Tile-parallel rendering: the frame is decomposed into screen-space
+// tiles, triangles are binned to the tiles their bounding boxes overlap,
+// tiles are rasterized concurrently (each worker owns its tiles' pixels,
+// so the Z-buffer and color writes need no locks), and the per-tile
+// texel-access streams are merged back into the exact serial emission
+// order. The merged cache.Trace is bit-identical to the serial
+// renderer's for every traversal order: within a triangle, fragments
+// carry their serial-traversal rank (internal/raster), and across
+// triangles the input order is preserved, so a per-triangle k-way merge
+// by rank reconstructs the serial sequence.
+package pipeline
+
+import (
+	"sync"
+	"time"
+
+	"texcache/internal/cache"
+	"texcache/internal/obs"
+	"texcache/internal/raster"
+	"texcache/internal/texture"
+)
+
+// DefaultTilePx is the default edge, in pixels, of the screen tiles the
+// parallel renderer uses. 64 keeps the per-tile working set small while
+// leaving enough tiles to load a pool at the paper's resolutions.
+const DefaultTilePx = 64
+
+// screenTri is one screen-space triangle captured during the geometry
+// pass of a deferred frame, ready for rasterization.
+type screenTri struct {
+	v0, v1, v2 raster.Vert
+	tex        *texture.Texture
+}
+
+// fragRec locates one textured fragment's addresses within its tile
+// stream: rank is the fragment's serial-traversal rank within its
+// triangle, n the number of addresses it emitted.
+type fragRec struct {
+	rank uint64
+	n    uint32
+}
+
+// triSpan is one triangle's contiguous slice of a tile stream, in frame
+// triangle order.
+type triSpan struct {
+	seq            int // triangle sequence number within the frame
+	fragLo, fragHi int
+	addrLo, addrHi int
+}
+
+// tileStream accumulates one tile's rasterization output. It doubles as
+// the tile sampler's cache.Sink so address emission stays a slice
+// append.
+type tileStream struct {
+	rect raster.Rect
+	tris []int // bound triangle sequence numbers, ascending
+
+	addrs []uint64
+	frags []fragRec
+	spans []triSpan
+
+	shaded, textured uint64
+	fetches          uint64
+}
+
+// Access implements cache.Sink.
+func (ts *tileStream) Access(addr uint64) { ts.addrs = append(ts.addrs, addr) }
+
+// parallelEligible reports whether the configured frame may take the
+// tile-parallel path. OnAccess and Counters observe the stream while it
+// is produced, in order, so frames using them keep the serial path; the
+// trace Sink is ordered too, but its stream is reconstructed exactly by
+// the merge.
+func (r *Renderer) parallelEligible() bool {
+	return r.RenderWorkers > 1 && r.OnAccess == nil && r.Counters == nil
+}
+
+// deferTri captures a screen triangle for the tile pass, returning false
+// when the frame is not running in deferred mode.
+func (r *Renderer) deferTri(v0, v1, v2 raster.Vert, tex *texture.Texture) bool {
+	if !r.parallelEligible() {
+		return false
+	}
+	r.deferred = append(r.deferred, screenTri{v0: v0, v1: v1, v2: v2, tex: tex})
+	return true
+}
+
+// Finish completes the frame. For a deferred (tile-parallel) frame it
+// bins the captured triangles, rasterizes the tiles across
+// RenderWorkers goroutines and merges the texel-access streams back
+// into serial order; for a serial frame it is a no-op, so callers may
+// invoke it unconditionally after the frame's draws.
+func (r *Renderer) Finish() {
+	tris := r.deferred
+	if len(tris) == 0 {
+		return
+	}
+	r.deferred = r.deferred[:0]
+
+	tile := r.TilePx
+	if tile <= 0 {
+		tile = DefaultTilePx
+	}
+	grid := raster.NewGrid(r.Width, r.Height, tile)
+
+	// Bin triangles to the tiles their clamped bounding boxes overlap.
+	bins := make([][]int, grid.NumTiles())
+	for seq := range tris {
+		st := &tris[seq]
+		bbox, ok := raster.Bounds(st.v0, st.v1, st.v2, r.Width, r.Height)
+		if !ok {
+			continue
+		}
+		tx0, ty0, tx1, ty1 := grid.TileRange(bbox)
+		for ty := ty0; ty <= ty1; ty++ {
+			for tx := tx0; tx <= tx1; tx++ {
+				i := ty*grid.NX + tx
+				bins[i] = append(bins[i], seq)
+			}
+		}
+	}
+	streams := make([]*tileStream, 0, len(bins))
+	for i, bin := range bins {
+		if len(bin) > 0 {
+			streams = append(streams, &tileStream{rect: grid.Rect(i), tris: bin})
+		}
+	}
+	if len(streams) == 0 {
+		return
+	}
+
+	// Rasterize the tiles on the worker pool. Tiles partition the
+	// screen, so each worker writes disjoint framebuffer indices —
+	// no locks on the hot path.
+	start := time.Now()
+	workers := r.RenderWorkers
+	if workers > len(streams) {
+		workers = len(streams)
+	}
+	work := make(chan *tileStream)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ts := range work {
+				r.renderTile(ts, tris)
+			}
+		}()
+	}
+	for _, ts := range streams {
+		work <- ts
+	}
+	close(work)
+	wg.Wait()
+
+	// Fold the tile counters into the frame statistics; every counter is
+	// a plain sum over the partition, so the totals match a serial frame.
+	for _, ts := range streams {
+		r.Stats.FragmentsShaded += ts.shaded
+		r.Stats.FragmentsTextured += ts.textured
+		r.sampler.Fetches += ts.fetches
+	}
+	// Tile metrics flush once per frame, never per tile element.
+	rend := obs.Default().Sub("render")
+	rend.Counter("tiles").Add(uint64(len(streams)))
+	rend.Timer("tile_pass").ObserveSince(start)
+
+	if r.Sink != nil {
+		r.mergeStreams(tris, streams)
+	}
+}
+
+// renderTile rasterizes every triangle bound to the tile, in frame
+// order, clipped to the tile rect. Depth resolution is exact: the tile
+// owns its pixels, and triangles arrive in the same relative order as
+// the serial frame, so every depth test sees the same prior state.
+func (r *Renderer) renderTile(ts *tileStream, tris []screenTri) {
+	var smp texture.Sampler
+	if r.Sink != nil {
+		smp.Sink = ts
+	}
+	for _, seq := range ts.tris {
+		st := &tris[seq]
+		span := triSpan{seq: seq, fragLo: len(ts.frags), addrLo: len(ts.addrs)}
+		texW, texH := 0, 0
+		if st.tex != nil {
+			texW = st.tex.Mip.Levels[0].W
+			texH = st.tex.Mip.Levels[0].H
+		}
+		raster.RasterizeRect(st.v0, st.v1, st.v2, r.Width, r.Height, texW, texH, r.Traversal, ts.rect,
+			func(f *raster.Fragment, rank uint64) {
+				if r.FragmentMask != nil && !r.FragmentMask(f.X, f.Y) {
+					return
+				}
+				ts.shaded++
+				cr, cg, cb := f.R, f.G, f.B
+				if st.tex != nil {
+					ts.textured++
+					before := len(ts.addrs)
+					c := smp.Sample(st.tex, f.U, f.V, f.Lambda)
+					cr *= c.R
+					cg *= c.G
+					cb *= c.B
+					if n := len(ts.addrs) - before; n > 0 {
+						ts.frags = append(ts.frags, fragRec{rank: rank, n: uint32(n)})
+					}
+				}
+				if r.FB.DepthTest(f.X, f.Y, f.Z) {
+					r.FB.SetPixel(f.X, f.Y, cr, cg, cb)
+				}
+			})
+		span.fragHi, span.addrHi = len(ts.frags), len(ts.addrs)
+		if span.addrHi > span.addrLo {
+			ts.spans = append(ts.spans, span)
+		}
+	}
+	ts.fetches = smp.Fetches
+}
+
+// mergeStreams replays the per-tile address streams into the frame Sink
+// in the exact serial emission order: triangles in frame order, and
+// within a triangle a k-way merge of the participating tiles' fragment
+// runs by rank. Each tile's stream is already rank-sorted (a clipped
+// scan visits pixels in serial order), so the merge is linear.
+func (r *Renderer) mergeStreams(tris []screenTri, streams []*tileStream) {
+	trace, _ := r.Sink.(*cache.Trace)
+	emitRun := func(addrs []uint64) {
+		if trace != nil {
+			trace.Addrs = append(trace.Addrs, addrs...)
+			return
+		}
+		for _, a := range addrs {
+			r.Sink.Access(a)
+		}
+	}
+
+	// merge_backlog tracks how many tile streams still hold unmerged
+	// spans; it drains to zero as the merge consumes them.
+	pending := 0
+	for _, ts := range streams {
+		if len(ts.spans) > 0 {
+			pending++
+		}
+	}
+	backlog := obs.Default().Sub("render").Gauge("merge_backlog")
+	backlog.Set(int64(pending))
+	defer backlog.Set(0)
+
+	// cur[i] walks stream i's span list; spans are in ascending seq.
+	cur := make([]int, len(streams))
+	type head struct {
+		ts       *tileStream
+		span     triSpan
+		frag     int // next fragment record
+		addr     int // next address
+	}
+	var heads []head
+	for seq := range tris {
+		heads = heads[:0]
+		for i, ts := range streams {
+			if cur[i] < len(ts.spans) && ts.spans[cur[i]].seq == seq {
+				heads = append(heads, head{ts: ts, span: ts.spans[cur[i]]})
+				cur[i] = cur[i] + 1
+				if cur[i] == len(ts.spans) {
+					backlog.Add(-1)
+				}
+			}
+		}
+		switch len(heads) {
+		case 0:
+			continue
+		case 1:
+			// Single-tile triangle: its stream already is the serial
+			// order — bulk append.
+			sp := heads[0].span
+			emitRun(heads[0].ts.addrs[sp.addrLo:sp.addrHi])
+			continue
+		}
+		for i := range heads {
+			heads[i].frag = heads[i].span.fragLo
+			heads[i].addr = heads[i].span.addrLo
+		}
+		for len(heads) > 0 {
+			// Smallest rank across the heads is the next serial
+			// fragment; ranks are distinct across tiles because tiles
+			// partition the pixels.
+			best := 0
+			for i := 1; i < len(heads); i++ {
+				if heads[i].ts.frags[heads[i].frag].rank < heads[best].ts.frags[heads[best].frag].rank {
+					best = i
+				}
+			}
+			h := &heads[best]
+			n := int(h.ts.frags[h.frag].n)
+			emitRun(h.ts.addrs[h.addr : h.addr+n])
+			h.frag++
+			h.addr += n
+			if h.frag == h.span.fragHi {
+				heads[best] = heads[len(heads)-1]
+				heads = heads[:len(heads)-1]
+			}
+		}
+	}
+}

@@ -80,6 +80,12 @@ type RenderOptions struct {
 	// Time selects the camera position along the scene's motion path;
 	// zero renders the canonical frame.
 	Time float64
+	// Workers above one rasterizes the frame's screen tiles on that
+	// many goroutines; the texel address stream is merged back into the
+	// exact serial order, so traces are bit-identical at any worker
+	// count. Zero or one renders serially, as do frames with an
+	// OnAccess or Counters consumer.
+	Workers int
 }
 
 // Render draws one frame of the scene and returns the renderer, whose
@@ -95,6 +101,7 @@ func (s *Scene) Render(opt RenderOptions) (*pipeline.Renderer, error) {
 	r.OnAccess = opt.OnAccess
 	r.Counters = opt.Counters
 	r.FragmentMask = opt.FragmentMask
+	r.RenderWorkers = opt.Workers
 
 	arena := texture.NewArena()
 	r.Textures = make([]*texture.Texture, len(s.Mips))
@@ -112,6 +119,9 @@ func (s *Scene) Render(opt RenderOptions) (*pipeline.Renderer, error) {
 	for _, d := range s.Draws {
 		r.DrawMesh(d.Mesh, d.Model, cam)
 	}
+	// Completes the tile-parallel pass when one is active (no-op for
+	// serial frames), so the stats below always cover the whole frame.
+	r.Finish()
 	// Bulk-flush frame statistics to the attached registry — one update
 	// per frame, never per fragment or texel.
 	if reg := obs.Default(); reg != nil {
@@ -129,6 +139,18 @@ func (s *Scene) Render(opt RenderOptions) (*pipeline.Renderer, error) {
 func (s *Scene) Trace(layout texture.LayoutSpec, trav raster.Traversal) (*cache.Trace, *pipeline.Renderer, error) {
 	tr := cache.NewTrace(1 << 20)
 	r, err := s.Render(RenderOptions{Layout: layout, Traversal: trav, Sink: tr})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, r, nil
+}
+
+// TraceParallel is Trace with tile-parallel rasterization on the given
+// number of workers (values below two render serially). The returned
+// trace is bit-identical to Trace's at every worker count.
+func (s *Scene) TraceParallel(layout texture.LayoutSpec, trav raster.Traversal, workers int) (*cache.Trace, *pipeline.Renderer, error) {
+	tr := cache.NewTrace(1 << 20)
+	r, err := s.Render(RenderOptions{Layout: layout, Traversal: trav, Sink: tr, Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -192,16 +214,6 @@ func Builders() map[string]Builder {
 
 // Names returns the scene names in the paper's order.
 func Names() []string { return []string{"flight", "town", "guitar", "goblet"} }
-
-// ByName builds the named scene at the given scale (1 = the paper's full
-// resolution; larger values divide the screen and texture dimensions for
-// quick runs). Unknown names return nil.
-func ByName(name string, scale int) *Scene {
-	if b, ok := Builders()[name]; ok {
-		return b(scale)
-	}
-	return nil
-}
 
 // UnknownSceneError reports a scene name that is not one of the four
 // benchmarks.

@@ -23,8 +23,8 @@ func TestBuildersCoverNames(t *testing.T) {
 	if len(b) != len(Names()) {
 		t.Errorf("builders/names mismatch: %d vs %d", len(b), len(Names()))
 	}
-	if ByName("nope", 1) != nil {
-		t.Error("unknown scene should be nil")
+	if _, err := ByNameChecked("nope", 1); err == nil {
+		t.Error("unknown scene should error")
 	}
 }
 
@@ -40,7 +40,7 @@ func TestTable41Characteristics(t *testing.T) {
 		"goblet": {7200, 1},  // paper: 7200, 1
 	}
 	for name, w := range want {
-		s := ByName(name, testScale)
+		s := byName(t, name, testScale)
 		if got := s.Triangles(); got != w.tris {
 			t.Errorf("%s: %d triangles, want %d", name, got, w.tris)
 		}
@@ -58,11 +58,11 @@ func TestResolutionsMatchPaper(t *testing.T) {
 		{"flight", 1280, 1024}, {"town", 1280, 1024},
 		{"guitar", 800, 800}, {"goblet", 800, 800},
 	} {
-		s := ByName(c.name, 1)
+		s := byName(t, c.name, 1)
 		if s.Width != c.w || s.Height != c.h {
 			t.Errorf("%s at scale 1: %dx%d, want %dx%d", c.name, s.Width, s.Height, c.w, c.h)
 		}
-		s8 := ByName(c.name, testScale)
+		s8 := byName(t, c.name, testScale)
 		if s8.Width != c.w/testScale {
 			t.Errorf("%s at scale %d: width %d", c.name, testScale, s8.Width)
 		}
@@ -71,7 +71,7 @@ func TestResolutionsMatchPaper(t *testing.T) {
 
 func TestTownIsVerticalOthersHorizontal(t *testing.T) {
 	for _, name := range Names() {
-		s := ByName(name, testScale)
+		s := byName(t, name, testScale)
 		want := raster.RowMajor
 		if name == "town" {
 			want = raster.ColumnMajor
@@ -87,7 +87,7 @@ func TestTownIsVerticalOthersHorizontal(t *testing.T) {
 
 func TestScenesRenderFragments(t *testing.T) {
 	for _, name := range Names() {
-		s := ByName(name, testScale)
+		s := byName(t, name, testScale)
 		r, err := s.Render(RenderOptions{
 			Layout:    texture.LayoutSpec{Kind: texture.NonBlockedKind},
 			Traversal: s.DefaultTraversal(),
@@ -107,8 +107,8 @@ func TestScenesRenderFragments(t *testing.T) {
 }
 
 func TestTraceDeterministic(t *testing.T) {
-	s1 := ByName("goblet", testScale)
-	s2 := ByName("goblet", testScale)
+	s1 := byName(t, "goblet", testScale)
+	s2 := byName(t, "goblet", testScale)
 	spec := texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8}
 	t1, _, err := s1.Trace(spec, s1.DefaultTraversal())
 	if err != nil {
@@ -127,7 +127,7 @@ func TestTraceDeterministic(t *testing.T) {
 }
 
 func TestRenderRejectsBadLayout(t *testing.T) {
-	s := ByName("goblet", testScale)
+	s := byName(t, "goblet", testScale)
 	_, err := s.Render(RenderOptions{
 		Layout: texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 3},
 	})
@@ -139,7 +139,7 @@ func TestRenderRejectsBadLayout(t *testing.T) {
 func TestTexturesLaidOutConsecutively(t *testing.T) {
 	// The arena places textures in ID order with no overlap, mirroring
 	// consecutive malloc() placement.
-	s := ByName("town", testScale)
+	s := byName(t, "town", testScale)
 	r, err := s.Render(RenderOptions{
 		Layout:    texture.LayoutSpec{Kind: texture.NonBlockedKind},
 		Traversal: s.DefaultTraversal(),
@@ -161,7 +161,7 @@ func TestTextureRepetitionByScene(t *testing.T) {
 	// town ~2.9, guitar ~1.7, goblet ~1.1, flight ~1.0. Verified through
 	// the UV ranges of the generated geometry.
 	maxUV := func(name string) float64 {
-		s := ByName(name, testScale)
+		s := byName(t, name, testScale)
 		m := 0.0
 		for _, d := range s.Draws {
 			for _, tr := range d.Mesh.Tris {
@@ -192,8 +192,8 @@ func TestTextureRepetitionByScene(t *testing.T) {
 }
 
 func TestStorageScalesWithTextureSizes(t *testing.T) {
-	full := ByName("goblet", 1).TextureStorageBytes()
-	small := ByName("goblet", testScale).TextureStorageBytes()
+	full := byName(t, "goblet", 1).TextureStorageBytes()
+	small := byName(t, "goblet", testScale).TextureStorageBytes()
 	if full <= small {
 		t.Errorf("storage did not scale: full=%d small=%d", full, small)
 	}
@@ -204,7 +204,7 @@ func TestStorageScalesWithTextureSizes(t *testing.T) {
 }
 
 func TestSinkReceivesTrace(t *testing.T) {
-	s := ByName("guitar", testScale)
+	s := byName(t, "guitar", testScale)
 	var n int
 	_, err := s.Render(RenderOptions{
 		Layout:    texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 4},
@@ -221,7 +221,7 @@ func TestSinkReceivesTrace(t *testing.T) {
 
 func TestCameraPathMovesEveryScene(t *testing.T) {
 	for _, name := range Names() {
-		s := ByName(name, testScale)
+		s := byName(t, name, testScale)
 		if s.CameraPath == nil {
 			t.Errorf("%s has no camera path", name)
 			continue
@@ -239,7 +239,7 @@ func TestCameraPathMovesEveryScene(t *testing.T) {
 }
 
 func TestRenderAtTimeProducesDifferentTrace(t *testing.T) {
-	s := ByName("goblet", testScale)
+	s := byName(t, "goblet", testScale)
 	spec := texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8}
 	tr0 := cache.NewTrace(0)
 	if _, err := s.Render(RenderOptions{Layout: spec, Traversal: s.DefaultTraversal(), Sink: tr0}); err != nil {
@@ -258,7 +258,7 @@ func TestRenderAtTimeProducesDifferentTrace(t *testing.T) {
 }
 
 func TestLayoutsMatchRenderPlacement(t *testing.T) {
-	s := ByName("town", testScale)
+	s := byName(t, "town", testScale)
 	spec := texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8}
 	layouts, err := s.Layouts(spec)
 	if err != nil {
@@ -290,4 +290,14 @@ func TestRandDeterministic(t *testing.T) {
 	if v < 0 || v >= 1 {
 		t.Errorf("rand out of range: %v", v)
 	}
+}
+
+// byName builds the named scene, failing the test for unknown names.
+func byName(t *testing.T, name string, scale int) *Scene {
+	t.Helper()
+	s, err := ByNameChecked(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }

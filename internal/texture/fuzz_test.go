@@ -1,0 +1,103 @@
+package texture
+
+import "testing"
+
+// FuzzLayoutAddressing is the property check behind every address
+// generator: for any valid layout spec and pyramid geometry, each texel's
+// addresses stay inside [Base, Base+SizeBytes), no two (texel, component)
+// pairs share an address, and Locate inverts Addresses exactly. This
+// holds for the compressed representation too: texel starts are
+// TexelBytes apart and the ratio shift is at most Log2(TexelBytes), so
+// scaled offsets remain distinct.
+//
+// The raw fuzz bytes are folded into valid parameter ranges (power-of-two
+// dims up to 64, the block/pad/super/ratio values Validate accepts) so
+// every execution exercises a real layout rather than bouncing off
+// NewLayout's validation.
+func FuzzLayoutAddressing(f *testing.F) {
+	// One seed per representation, with non-square dims and a non-trivial
+	// parameter for each kind's knob.
+	f.Add(uint8(0), uint8(5), uint8(3), uint8(0), uint8(0), uint8(0), uint8(0)) // nonblocked 32x8
+	f.Add(uint8(1), uint8(4), uint8(5), uint8(3), uint8(0), uint8(0), uint8(0)) // blocked 16x32, 8x8 blocks
+	f.Add(uint8(2), uint8(6), uint8(2), uint8(2), uint8(2), uint8(0), uint8(0)) // padded 64x4, 4 pad blocks
+	f.Add(uint8(3), uint8(5), uint8(5), uint8(2), uint8(0), uint8(2), uint8(0)) // 6D 32x32, 256B super-blocks
+	f.Add(uint8(4), uint8(3), uint8(6), uint8(0), uint8(0), uint8(0), uint8(0)) // williams 8x64
+	f.Add(uint8(5), uint8(4), uint8(4), uint8(1), uint8(0), uint8(0), uint8(1)) // compressed 16x16, 4:1
+
+	f.Fuzz(func(t *testing.T, kindSel, logW, logH, blockSel, padSel, superSel, ratioSel uint8) {
+		spec := LayoutSpec{
+			Kind:      LayoutKind(int(kindSel) % 6),
+			BlockW:    1 << (blockSel % 4),
+			PadBlocks: 1 << (padSel % 3),
+			Ratio:     2 << (ratioSel % 2),
+		}
+		spec.SuperBytes = spec.BlockW * spec.BlockW * TexelBytes << (superSel % 3)
+		dims := []LevelDims{{W: 1 << (logW % 7), H: 1 << (logH % 7)}}
+		for d := dims[0]; d.W > 1 || d.H > 1; {
+			d = LevelDims{W: max(d.W/2, 1), H: max(d.H/2, 1)}
+			dims = append(dims, d)
+		}
+
+		arena := NewArena()
+		// Offset the texture so Base() is non-zero and varies: an address
+		// bug that only works at base 0 must not survive.
+		arena.Alloc(uint64(kindSel)*1021+uint64(padSel)+1, TexelBytes)
+		l, err := NewLayout(spec, dims, arena)
+		if err != nil {
+			// The folded parameters should always validate; a rejection
+			// here means the folding and Validate have drifted apart.
+			t.Fatalf("spec %+v rejected: %v", spec, err)
+		}
+		loc, ok := l.(Locator)
+		if !ok {
+			t.Fatalf("%s layout does not implement Locator", l.Name())
+		}
+		base, size := l.Base(), l.SizeBytes()
+		wantN := 1
+		if spec.Kind == WilliamsKind {
+			wantN = 3
+		}
+
+		type texel struct{ level, tu, tv, comp int }
+		owner := map[uint64]texel{}
+		var buf []uint64
+		for level, d := range dims {
+			for tv := 0; tv < d.H; tv++ {
+				for tu := 0; tu < d.W; tu++ {
+					buf = l.Addresses(level, tu, tv, buf[:0])
+					if len(buf) != wantN {
+						t.Fatalf("%s: texel L%d(%d,%d) emitted %d addresses, want %d",
+							l.Name(), level, tu, tv, len(buf), wantN)
+					}
+					for comp, a := range buf {
+						if a < base || a >= base+size {
+							t.Fatalf("%s: texel L%d(%d,%d) address %#x outside [%#x, %#x)",
+								l.Name(), level, tu, tv, a, base, base+size)
+						}
+						me := texel{level, tu, tv, comp}
+						if prev, dup := owner[a]; dup {
+							t.Fatalf("%s: address %#x emitted for both %+v and %+v",
+								l.Name(), a, prev, me)
+						}
+						owner[a] = me
+						ll, ltu, ltv, lcomp, ok := loc.Locate(a)
+						if !ok || ll != level || ltu != tu || ltv != tv || lcomp != comp {
+							t.Fatalf("%s: Locate(%#x) = L%d(%d,%d) comp %d ok=%v, want L%d(%d,%d) comp %d",
+								l.Name(), a, ll, ltu, ltv, lcomp, ok, level, tu, tv, comp)
+						}
+					}
+				}
+			}
+		}
+
+		// Addresses just outside the representation must not locate.
+		if base > 0 {
+			if _, _, _, _, ok := loc.Locate(base - 1); ok {
+				t.Fatalf("%s: Locate(base-1) claimed ownership", l.Name())
+			}
+		}
+		if _, _, _, _, ok := loc.Locate(base + size); ok {
+			t.Fatalf("%s: Locate(base+size) claimed ownership", l.Name())
+		}
+	})
+}

@@ -85,8 +85,8 @@ func TestSceneFacade(t *testing.T) {
 	if tr.Len() == 0 || r.Stats.FragmentsTextured == 0 {
 		t.Error("scene trace empty")
 	}
-	if texcache.SceneByName("nope", 1) != nil {
-		t.Error("unknown scene should be nil")
+	if _, err := texcache.SceneByNameChecked("nope", 1); err == nil {
+		t.Error("unknown scene should error")
 	}
 }
 
