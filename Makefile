@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and every PR) must keep green.
-.PHONY: ci vet build staticcheck deprecated test golden cover bench
+.PHONY: ci vet build staticcheck deprecated test golden cover bench bench-check
 
-ci: vet build staticcheck deprecated test cover
+ci: vet build staticcheck deprecated test cover bench-check
 
 vet:
 	go vet ./...
@@ -54,5 +54,12 @@ cover:
 # results to BENCH_engine.json for regression tracking. The TraceGen
 # pair measures the tile-parallel render path against the serial scan.
 bench:
-	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen' \
+	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen' \
 		-benchmem -count 1 . | go run ./cmd/benchjson -o BENCH_engine.json
+
+# bench-check gates the grouped simulator's reason to exist: on the
+# acceptance sweep it must beat per-configuration serial simulation by
+# at least 2x. The gate is a plain test (skipped under -short and under
+# -race) so it runs anywhere the suite does.
+bench-check:
+	go test -count=1 -run TestGroupedSweepSpeedup .

@@ -106,6 +106,23 @@ func BenchmarkEngineSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupedSweep replays the Goblet trace through all
+// configurations with the grouped single-pass simulator: one stack walk
+// per distinct line size instead of one replay per configuration.
+// Compare with BenchmarkSerialSweep for the per-configuration speedup
+// the bench-check gate enforces.
+func BenchmarkGroupedSweep(b *testing.B) {
+	tr := gobletTrace(b)
+	cfgs := benchSweepConfigs()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.SimulateConfigsGrouped(ctx, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineBatch runs a small experiment batch through the full
 // engine (shared trace cache, concurrent experiments).
 func BenchmarkEngineBatch(b *testing.B) {

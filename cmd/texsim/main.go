@@ -15,6 +15,14 @@
 //	texsim -exp fig6.2 -render-workers 4      # tile-parallel rendering
 //	texsim -exp table7.1 -json            # NDJSON rows on stdout
 //	texsim -exp all -metrics :8080        # expvar + pprof while running
+//	texsim -exp all -cpuprofile cpu.out -memprofile mem.out
+//	texsim -exp fig5.7 -grouped=false     # per-configuration sweep replay
+//
+// Sweeps default to the grouped single-pass simulator (-grouped): every
+// LRU configuration sharing a line size is answered from one walk of the
+// trace. -grouped=false replays one cache per configuration instead; the
+// output is bit-identical either way. -cpuprofile and -memprofile write
+// runtime/pprof profiles covering the whole run.
 //
 // -json emits each experiment's tables as newline-delimited JSON objects
 // (one per row/note, each stamped with its experiment ID) instead of the
@@ -33,6 +41,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -55,8 +65,37 @@ func run() int {
 		jsonOut  = flag.Bool("json", false, "emit NDJSON rows on stdout instead of text tables")
 		metrics  = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address (e.g. :8080, :0)")
 		progress = flag.Bool("progress", false, "print per-experiment completion lines on stderr")
+		grouped  = flag.Bool("grouped", true, "answer each sweep's LRU configurations from one grouped trace walk (false = one cache per configuration; output is identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "texsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "texsim:", err)
+			}
+		}()
+	}
 
 	if *list || *id == "" {
 		fmt.Println("experiments:")
@@ -85,6 +124,9 @@ func run() int {
 	}
 
 	cfg := texcache.ExperimentConfig{Scale: *scale, RenderWorkers: *renderW}
+	if !*grouped {
+		cfg.Sweep = texcache.SweepPerConfig
+	}
 	if *scenes != "" {
 		cfg.Scenes = strings.Split(*scenes, ",")
 	}

@@ -189,7 +189,8 @@ func (s Stats) BytesFetched(lineBytes int) uint64 {
 }
 
 // line holds one cache line's tag and LRU timestamp. A valid line has
-// tag != invalidTag.
+// tag != invalidTag. (The sectored cache keeps line metadata in this
+// form; Cache itself flattens it into parallel tag/stamp arrays.)
 type line struct {
 	tag     uint64
 	lastUse uint64
@@ -199,12 +200,21 @@ const invalidTag = ^uint64(0)
 
 // Cache is a set-associative LRU cache simulator. The zero value is not
 // usable; construct with New or NewClassifying.
+//
+// Line metadata is stored structure-of-arrays: the hit scan — the hot
+// path a sweep runs once per texel per configuration — touches only the
+// contiguous tags array, and recency stamps are read solely on the miss
+// path when a victim must be chosen.
 type Cache struct {
-	cfg        Config
-	lineShift  uint
-	setMask    uint64
-	ways       int
-	sets       []line // len = numSets*ways, set i occupies [i*ways, (i+1)*ways)
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	ways      int
+	// tags and stamps are parallel arrays of NumLines entries; set i
+	// occupies [i*ways, (i+1)*ways). stamps holds the last-use clock
+	// under LRU and the fill clock under FIFO.
+	tags       []uint64
+	stamps     []uint64
 	clock      uint64
 	stats      Stats
 	full       *falru          // fully-associative path (Ways == 0)
@@ -245,9 +255,10 @@ func TryNew(cfg Config) (*Cache, error) {
 		c.full = newFALRU(cfg.NumLines())
 	} else {
 		c.setMask = uint64(cfg.NumSets() - 1)
-		c.sets = make([]line, cfg.NumLines())
-		for i := range c.sets {
-			c.sets[i].tag = invalidTag
+		c.tags = make([]uint64, cfg.NumLines())
+		c.stamps = make([]uint64, cfg.NumLines())
+		for i := range c.tags {
+			c.tags[i] = invalidTag
 		}
 	}
 	return c, nil
@@ -293,8 +304,8 @@ func (c *Cache) Flush() {
 	if c.full != nil {
 		c.full.reset()
 	}
-	for i := range c.sets {
-		c.sets[i].tag = invalidTag
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	if c.shadow != nil {
 		c.shadow.reset()
@@ -347,43 +358,43 @@ func (c *Cache) Access(addr uint64) bool {
 }
 
 func (c *Cache) accessSetAssoc(lineAddr uint64) bool {
-	set := int(lineAddr&c.setMask) * c.ways
-	ways := c.sets[set : set+c.ways]
+	base := int(lineAddr&c.setMask) * c.ways
+	tags := c.tags[base : base+c.ways : base+c.ways]
 	victim := -1
-	oldest := ^uint64(0)
-	for i := range ways {
-		if ways[i].tag == lineAddr {
+	for i, tag := range tags {
+		if tag == lineAddr {
 			// A hit refreshes recency under LRU only; FIFO and random
 			// ignore use.
 			if c.cfg.Policy == LRU {
-				ways[i].lastUse = c.clock
+				c.stamps[base+i] = c.clock
 			}
 			return true
 		}
-		if ways[i].tag == invalidTag {
-			// An invalid way is always the preferred victim.
-			if victim == -1 || ways[victim].tag != invalidTag {
-				victim = i
-			}
-			continue
-		}
-		if ways[i].lastUse < oldest {
-			oldest = ways[i].lastUse
-			if victim == -1 || ways[victim].tag != invalidTag {
-				victim = i
-			}
+		if tag == invalidTag && victim == -1 {
+			// The first invalid way is always the preferred victim.
+			victim = i
 		}
 	}
-	if victim == -1 || ways[victim].tag != invalidTag {
-		switch c.cfg.Policy {
-		case Random:
+	if victim == -1 {
+		if c.cfg.Policy == Random {
 			victim = int(c.rngNext() % uint64(c.ways))
-		default:
-			// LRU and FIFO both evict the smallest timestamp; they
-			// differ in whether hits refreshed it above.
+		} else {
+			// LRU and FIFO both evict the smallest timestamp (unique,
+			// since the clock advances every access); they differ in
+			// whether hits refreshed it above.
+			stamps := c.stamps[base : base+c.ways]
+			oldest := stamps[0]
+			victim = 0
+			for i := 1; i < len(stamps); i++ {
+				if stamps[i] < oldest {
+					oldest = stamps[i]
+					victim = i
+				}
+			}
 		}
 	}
-	ways[victim] = line{tag: lineAddr, lastUse: c.clock}
+	tags[victim] = lineAddr
+	c.stamps[base+victim] = c.clock
 	return false
 }
 
@@ -403,8 +414,8 @@ func (c *Cache) Contains(addr uint64) bool {
 		return c.full.contains(lineAddr)
 	}
 	set := int(lineAddr&c.setMask) * c.ways
-	for _, l := range c.sets[set : set+c.ways] {
-		if l.tag == lineAddr {
+	for _, tag := range c.tags[set : set+c.ways] {
+		if tag == lineAddr {
 			return true
 		}
 	}

@@ -24,6 +24,16 @@ const replayChunkLen = 1 << 14
 // sink can run ahead of a slow one (bounded skew, bounded memory).
 const replayChanDepth = 4
 
+// replayChanPool recycles per-sink chunk channels across passes: a sweep
+// replays once per experiment and per configuration group, and the
+// channel plus its chunk buffer are the only per-sink allocations a pass
+// makes. Channels end a clean pass open and drained (termination is a
+// nil-chunk sentinel, not close), so they can be handed to the next
+// pass; cancelled passes close their channels and let them go.
+var replayChanPool = sync.Pool{
+	New: func() any { return make(chan []uint64, replayChanDepth) },
+}
+
 // ReplayConcurrent feeds the whole trace to every sink in a single pass,
 // each sink on its own goroutine. The trace is never copied: sinks share
 // read-only views of the address slice. Replay order within each sink is
@@ -60,26 +70,46 @@ func (t *Trace) replayConcurrent(ctx context.Context, chunkLen int, sinks []Sink
 	chans := make([]chan []uint64, len(sinks))
 	var wg sync.WaitGroup
 	for i, s := range sinks {
-		ch := make(chan []uint64, replayChanDepth)
+		ch := replayChanPool.Get().(chan []uint64)
 		chans[i] = ch
 		wg.Add(1)
 		go func(s Sink, ch <-chan []uint64) {
 			defer wg.Done()
-			// Direct dispatch for the profiler, as in Replay.
-			if sd, ok := s.(*StackDist); ok {
+			// A nil chunk is the end-of-trace sentinel; a closed channel
+			// (cancelled pass) also delivers nil. Never sent as a real
+			// chunk: the producer slices a non-empty trace.
+			switch s := s.(type) {
+			case *StackDist:
+				// Direct dispatch for the profilers, as in Replay.
 				for chunk := range ch {
+					if chunk == nil {
+						break
+					}
 					for _, a := range chunk {
-						sd.Access(a)
+						s.Access(a)
 					}
 					backlog.Add(-1)
 				}
-				return
-			}
-			for chunk := range ch {
-				for _, a := range chunk {
-					s.Access(a)
+			case *groupSim:
+				for chunk := range ch {
+					if chunk == nil {
+						break
+					}
+					for _, a := range chunk {
+						s.Access(a)
+					}
+					backlog.Add(-1)
 				}
-				backlog.Add(-1)
+			default:
+				for chunk := range ch {
+					if chunk == nil {
+						break
+					}
+					for _, a := range chunk {
+						s.Access(a)
+					}
+					backlog.Add(-1)
+				}
 			}
 		}(s, ch)
 	}
@@ -100,10 +130,21 @@ producer:
 		}
 	}
 	for _, ch := range chans {
-		close(ch)
+		if err != nil {
+			// Cancelled: close so workers drain and exit; the channel may
+			// still hold chunks, so it cannot be pooled.
+			close(ch)
+			continue
+		}
+		ch <- nil // bounded wait: the worker is draining toward the sentinel
 	}
 	wg.Wait()
 	if err == nil {
+		// Workers consumed every chunk and the sentinel: the channels are
+		// empty and open, ready for the next pass.
+		for _, ch := range chans {
+			replayChanPool.Put(ch)
+		}
 		err = ctx.Err()
 	}
 	if reg != nil && err == nil {

@@ -69,6 +69,10 @@ type Options struct {
 	// completion order, not request order. The callback runs on an engine
 	// goroutine and must not block on the result channel.
 	Progress func(Progress)
+	// Sweep, when set (sweepSet), overrides the batch Config's sweep
+	// replay mode. Both modes produce bit-identical experiment output.
+	Sweep    exp.SweepMode
+	sweepSet bool
 }
 
 // Option mutates Options.
@@ -86,6 +90,12 @@ func WithRenderWorkers(n int) Option { return func(o *Options) { o.RenderWorkers
 
 // WithProgress installs a per-experiment completion callback.
 func WithProgress(fn func(Progress)) Option { return func(o *Options) { o.Progress = fn } }
+
+// WithSweepMode forces every experiment in the batch to replay its
+// configuration sweeps in the given mode, overriding Config.Sweep.
+func WithSweepMode(m exp.SweepMode) Option {
+	return func(o *Options) { o.Sweep, o.sweepSet = m, true }
+}
 
 // Engine schedules experiment batches.
 type Engine struct {
@@ -125,6 +135,9 @@ func (e *Engine) Run(ctx context.Context, ids []string, cfg exp.Config) (<-chan 
 		tc := NewTraceCache()
 		tc.RenderWorkers = e.opts.RenderWorkers
 		cfg.Traces = tc
+	}
+	if e.opts.sweepSet {
+		cfg.Sweep = e.opts.Sweep
 	}
 
 	out := make(chan Result, len(exps))

@@ -227,6 +227,9 @@ func (r *Renderer) mergeStreams(tris []screenTri, streams []*tileStream) {
 	trace, _ := r.Sink.(*cache.Trace)
 	emitRun := func(addrs []uint64) {
 		if trace != nil {
+			// Grow doubles, keeping large-frame merges off append's
+			// decaying growth factor.
+			trace.Grow(len(addrs))
 			trace.Addrs = append(trace.Addrs, addrs...)
 			return
 		}

@@ -134,10 +134,18 @@ func (s *Scene) Render(opt RenderOptions) (*pipeline.Renderer, error) {
 	return r, nil
 }
 
+// traceSizeHint sizes a frame's trace preallocation from the screen
+// area: trilinear filtering fetches eight texels per textured fragment,
+// and partial coverage roughly offsets overdraw. Trace growth doubles,
+// so an undershoot costs one copy, not a reallocation per append.
+func (s *Scene) traceSizeHint() int {
+	return s.Width * s.Height * 8
+}
+
 // Trace renders one frame and returns the recorded texel address trace,
 // for replay through many cache configurations.
 func (s *Scene) Trace(layout texture.LayoutSpec, trav raster.Traversal) (*cache.Trace, *pipeline.Renderer, error) {
-	tr := cache.NewTrace(1 << 20)
+	tr := cache.NewTrace(s.traceSizeHint())
 	r, err := s.Render(RenderOptions{Layout: layout, Traversal: trav, Sink: tr})
 	if err != nil {
 		return nil, nil, err
@@ -149,7 +157,7 @@ func (s *Scene) Trace(layout texture.LayoutSpec, trav raster.Traversal) (*cache.
 // number of workers (values below two render serially). The returned
 // trace is bit-identical to Trace's at every worker count.
 func (s *Scene) TraceParallel(layout texture.LayoutSpec, trav raster.Traversal, workers int) (*cache.Trace, *pipeline.Renderer, error) {
-	tr := cache.NewTrace(1 << 20)
+	tr := cache.NewTrace(s.traceSizeHint())
 	r, err := s.Render(RenderOptions{Layout: layout, Traversal: trav, Sink: tr, Workers: workers})
 	if err != nil {
 		return nil, nil, err
