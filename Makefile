@@ -1,10 +1,17 @@
 # Tier-1 gate: everything CI (and every PR) must keep green.
-.PHONY: ci vet build staticcheck deprecated test golden cover bench bench-check
+.PHONY: ci vet gofmt build staticcheck deprecated test golden cover bench bench-check
 
-ci: vet build staticcheck deprecated test cover bench-check
+ci: vet gofmt build staticcheck deprecated test cover bench-check
 
 vet:
 	go vet ./...
+
+# Formatting is a gate, not a suggestion: the tree must be gofmt-clean.
+gofmt:
+	@out=$$(gofmt -l .) ; \
+	if [ -n "$$out" ] ; then \
+		echo "gofmt needed on:" ; echo "$$out" ; exit 1 ; \
+	fi
 
 build:
 	go build ./...
@@ -42,7 +49,7 @@ golden:
 # packages: raise a floor when coverage improves, never lower it.
 cover:
 	@set -e; \
-	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ; do \
+	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ./internal/trace:90.0 ; do \
 		pkg=$${pf%:*} ; floor=$${pf#*:} ; \
 		pct=$$(go test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p') ; \
 		echo "coverage $$pkg: $$pct% (floor $$floor%)" ; \
@@ -52,14 +59,18 @@ cover:
 
 # bench runs the engine-focused benchmark set and writes the parsed
 # results to BENCH_engine.json for regression tracking. The TraceGen
-# pair measures the tile-parallel render path against the serial scan.
+# pair measures the tile-parallel render path against the serial scan;
+# the TraceEncode/TraceDecode pair and the TraceStore cold/warm pair
+# track the compact trace codec and the persistent store.
 bench:
-	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen' \
+	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore' \
 		-benchmem -count 1 . | go run ./cmd/benchjson -o BENCH_engine.json
 
-# bench-check gates the grouped simulator's reason to exist: on the
-# acceptance sweep it must beat per-configuration serial simulation by
-# at least 2x. The gate is a plain test (skipped under -short and under
-# -race) so it runs anywhere the suite does.
+# bench-check gates the performance claims: the grouped simulator must
+# beat per-configuration serial simulation by at least 2x on the
+# acceptance sweep, and a warm trace store must run the acceptance
+# batch at least 2x faster than the cold run that populated it. The
+# gates are plain tests (skipped under -short and under -race) so they
+# run anywhere the suite does.
 bench-check:
-	go test -count=1 -run TestGroupedSweepSpeedup .
+	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup' .

@@ -142,6 +142,73 @@ func BenchmarkEngineBatch(b *testing.B) {
 	}
 }
 
+// --- Compact trace and trace-store benchmarks -----------------------
+
+// BenchmarkTraceEncode measures delta-encoding a rendered trace into
+// the compact form; ratio is the footprint reduction versus the
+// materialized 8 bytes/address.
+func BenchmarkTraceEncode(b *testing.B) {
+	tr := gobletTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var c *texcache.CompactTrace
+	for i := 0; i < b.N; i++ {
+		c = texcache.CompactTraceFromTrace(tr)
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "addrs/s")
+	b.ReportMetric(c.Ratio(), "ratio")
+}
+
+// BenchmarkTraceDecode measures streaming a compact trace back out
+// block by block — the per-sink cost a stream replay pays per pass.
+func BenchmarkTraceDecode(b *testing.B) {
+	c := texcache.CompactTraceFromTrace(gobletTrace(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := c.Cursor()
+		for blk := cur.Next(); blk != nil; blk = cur.Next() {
+		}
+	}
+	b.ReportMetric(float64(c.Len())*float64(b.N)/b.Elapsed().Seconds(), "addrs/s")
+}
+
+// benchStoreBatch runs the store acceptance batch against dir.
+func benchStoreBatch(b *testing.B, dir string) {
+	cfg := texcache.ExperimentConfig{Scale: benchScale(), Scenes: []string{"goblet"}}
+	results, err := texcache.RunExperiments(context.Background(),
+		[]string{"fig5.2", "fig5.7"}, cfg, texcache.WithTraceDir(dir))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkTraceStoreCold runs an experiment batch against an empty
+// trace store each iteration: every trace is rendered and written back.
+func BenchmarkTraceStoreCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchStoreBatch(b, b.TempDir())
+	}
+}
+
+// BenchmarkTraceStoreWarm runs the same batch against a populated
+// store: every trace loads from disk and nothing renders. The ratio to
+// BenchmarkTraceStoreCold is the warm-start speedup the bench-check
+// gate enforces.
+func BenchmarkTraceStoreWarm(b *testing.B) {
+	dir := b.TempDir()
+	benchStoreBatch(b, dir) // populate, untimed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchStoreBatch(b, dir)
+	}
+}
+
 // --- Tile-parallel render benchmarks --------------------------------
 
 // benchTraceGen generates all four benchmark scenes' traces at one

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                    string
+		scale, workers, renderW int
+		wantErr                 string // substring; empty = valid
+	}{
+		{"defaults", 2, 0, 0, ""},
+		{"full size", 1, 8, 4, ""},
+		{"zero scale", 0, 0, 0, "-scale 0"},
+		{"negative scale", -3, 0, 0, "-scale -3"},
+		{"negative workers", 2, -1, 0, "-workers -1"},
+		{"negative render workers", 2, 0, -2, "-render-workers -2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.scale, tc.workers, tc.renderW)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%d, %d, %d) = %v, want nil", tc.scale, tc.workers, tc.renderW, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags(%d, %d, %d) = nil, want error naming %q", tc.scale, tc.workers, tc.renderW, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -380,14 +380,7 @@ func (p *sweepPlan) stats() []Stats {
 // from one trace walk per configuration to one per distinct line size.
 // Invalid configurations surface as *ConfigError before any replay.
 func (t *Trace) SimulateConfigsGrouped(ctx context.Context, cfgs []Config) ([]Stats, error) {
-	p, err := planSweep(cfgs, true)
-	if err != nil {
-		return nil, err
-	}
-	if err := t.ReplayConcurrent(ctx, p.sinks()...); err != nil {
-		return nil, err
-	}
-	return p.stats(), nil
+	return SimulateConfigsGroupedStream(ctx, t, cfgs)
 }
 
 // MissRatesGrouped is the single-pass form of MissRatesConcurrent: the
@@ -395,17 +388,5 @@ func (t *Trace) SimulateConfigsGrouped(ctx context.Context, cfgs []Config) ([]St
 // grouped stack simulation per line size (plain non-classifying caches
 // on the fallback path, as MissRatesConcurrent builds).
 func (t *Trace) MissRatesGrouped(ctx context.Context, cfgs []Config) ([]float64, error) {
-	p, err := planSweep(cfgs, false)
-	if err != nil {
-		return nil, err
-	}
-	if err := t.ReplayConcurrent(ctx, p.sinks()...); err != nil {
-		return nil, err
-	}
-	stats := p.stats()
-	out := make([]float64, len(stats))
-	for i, s := range stats {
-		out[i] = s.MissRate()
-	}
-	return out, nil
+	return MissRatesGroupedStream(ctx, t, cfgs)
 }

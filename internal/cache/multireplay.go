@@ -160,24 +160,7 @@ producer:
 // SimulateConfigs; only the wall-clock differs. Invalid configurations
 // surface as *ConfigError before any replay work happens.
 func (t *Trace) SimulateConfigsConcurrent(ctx context.Context, cfgs []Config) ([]Stats, error) {
-	caches := make([]*Cache, len(cfgs))
-	sinks := make([]Sink, len(cfgs))
-	for i, cfg := range cfgs {
-		c, err := TryNewClassifying(cfg)
-		if err != nil {
-			return nil, err
-		}
-		caches[i] = c
-		sinks[i] = c.Sink()
-	}
-	if err := t.ReplayConcurrent(ctx, sinks...); err != nil {
-		return nil, err
-	}
-	out := make([]Stats, len(cfgs))
-	for i, c := range caches {
-		out[i] = c.Stats()
-	}
-	return out, nil
+	return SimulateConfigsStream(ctx, t, cfgs)
 }
 
 // MissRatesConcurrent replays the trace through one plain (non-
@@ -185,22 +168,5 @@ func (t *Trace) SimulateConfigsConcurrent(ctx context.Context, cfgs []Config) ([
 // returns the miss rates, index-aligned with cfgs. It is the cheap form
 // the figure sweeps use when only the rate matters.
 func (t *Trace) MissRatesConcurrent(ctx context.Context, cfgs []Config) ([]float64, error) {
-	caches := make([]*Cache, len(cfgs))
-	sinks := make([]Sink, len(cfgs))
-	for i, cfg := range cfgs {
-		c, err := TryNew(cfg)
-		if err != nil {
-			return nil, err
-		}
-		caches[i] = c
-		sinks[i] = c.Sink()
-	}
-	if err := t.ReplayConcurrent(ctx, sinks...); err != nil {
-		return nil, err
-	}
-	out := make([]float64, len(cfgs))
-	for i, c := range caches {
-		out[i] = c.Stats().MissRate()
-	}
-	return out, nil
+	return MissRatesStream(ctx, t, cfgs)
 }

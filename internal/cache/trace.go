@@ -10,6 +10,39 @@ import (
 	"texcache/internal/obs"
 )
 
+// AddrStream is a read-only texel address stream consumable in ordered
+// blocks. *Trace is the fully materialized implementation; compact
+// delta-encoded traces (internal/trace) stream their blocks out of the
+// encoded form without ever materializing the whole []uint64. The
+// stream-based replay entry points (ReplayStream, SimulateConfigs*Stream)
+// accept either.
+type AddrStream interface {
+	// Len returns the number of addresses in the stream.
+	Len() int
+	// Cursor returns a fresh iterator positioned at the start of the
+	// stream. Cursors are independent: each walks the whole stream, so
+	// concurrent consumers each take their own.
+	Cursor() Cursor
+}
+
+// Cursor iterates an address stream block by block, in order.
+type Cursor interface {
+	// Next returns the next block of addresses, or nil at end of
+	// stream. The returned slice is only valid until the following
+	// Next call: decoding cursors reuse their block buffer.
+	Next() []uint64
+}
+
+// BulkSink is a Sink that can absorb a whole run of addresses at once.
+// The tile-parallel merge uses it to move per-tile spans into the frame
+// sink without a per-address interface call.
+type BulkSink interface {
+	Sink
+	// AccessBulk appends every address of the run, exactly as len(addrs)
+	// Access calls would.
+	AccessBulk(addrs []uint64)
+}
+
 // Trace records a texel address stream in memory so one rendering pass can
 // be replayed through many cache configurations — the address stream
 // depends on the scene, texture layout and rasterization order but never
@@ -63,8 +96,36 @@ func (t *Trace) Grow(n int) {
 	t.Addrs = a
 }
 
+// AccessBulk appends a whole run of addresses; Trace satisfies BulkSink.
+// Grow doubles, keeping large-frame merges off append's decaying growth
+// factor.
+func (t *Trace) AccessBulk(addrs []uint64) {
+	t.Grow(len(addrs))
+	t.Addrs = append(t.Addrs, addrs...)
+}
+
 // Len returns the number of recorded accesses.
 func (t *Trace) Len() int { return len(t.Addrs) }
+
+// Cursor returns an iterator over the materialized addresses; the blocks
+// are views into Addrs, so iteration copies nothing.
+func (t *Trace) Cursor() Cursor { return &traceCursor{addrs: t.Addrs} }
+
+// traceCursor hands out replayChunkLen-sized views of a trace.
+type traceCursor struct {
+	addrs []uint64
+	pos   int
+}
+
+func (c *traceCursor) Next() []uint64 {
+	if c.pos >= len(c.addrs) {
+		return nil
+	}
+	hi := min(c.pos+replayChunkLen, len(c.addrs))
+	b := c.addrs[c.pos:hi]
+	c.pos = hi
+	return b
+}
 
 // Replay feeds the whole trace to each sink in turn. *StackDist is a Sink;
 // use Cache.Sink to replay into a cache simulator.

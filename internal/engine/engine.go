@@ -17,6 +17,7 @@ import (
 	"texcache/internal/exp"
 	"texcache/internal/obs"
 	"texcache/internal/report"
+	"texcache/internal/trace"
 )
 
 // Result is one finished experiment. Index is the experiment's position
@@ -64,6 +65,12 @@ type Options struct {
 	// every experiment's output) are bit-identical at any setting.
 	// Ignored when the caller supplies its own Config.Traces provider.
 	RenderWorkers int
+	// TraceDir, when non-empty, attaches a persistent on-disk trace
+	// store to the engine-installed trace cache: renders are written
+	// back and later batches load them instead of rendering. Results are
+	// bit-identical with or without it. Ignored when the caller supplies
+	// its own Config.Traces provider.
+	TraceDir string
 	// Progress, when non-nil, is called once per finished experiment.
 	// Calls are serialized and Completed is monotonic, but they arrive in
 	// completion order, not request order. The callback runs on an engine
@@ -90,6 +97,10 @@ func WithRenderWorkers(n int) Option { return func(o *Options) { o.RenderWorkers
 
 // WithProgress installs a per-experiment completion callback.
 func WithProgress(fn func(Progress)) Option { return func(o *Options) { o.Progress = fn } }
+
+// WithTraceDir attaches a persistent trace store rooted at dir to the
+// engine's trace cache; empty disables the store.
+func WithTraceDir(dir string) Option { return func(o *Options) { o.TraceDir = dir } }
 
 // WithSweepMode forces every experiment in the batch to replay its
 // configuration sweeps in the given mode, overriding Config.Sweep.
@@ -134,6 +145,13 @@ func (e *Engine) Run(ctx context.Context, ids []string, cfg exp.Config) (<-chan 
 	if cfg.Traces == nil {
 		tc := NewTraceCache()
 		tc.RenderWorkers = e.opts.RenderWorkers
+		if e.opts.TraceDir != "" {
+			store, err := trace.Open(e.opts.TraceDir)
+			if err != nil {
+				return nil, err
+			}
+			tc.Store = store
+		}
 		cfg.Traces = tc
 	}
 	if e.opts.sweepSet {

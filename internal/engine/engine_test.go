@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"texcache/internal/raster"
 	"texcache/internal/report"
 	"texcache/internal/texture"
+	"texcache/internal/trace"
 )
 
 var testCfg = exp.Config{Scale: 8, Scenes: []string{"goblet"}}
@@ -151,6 +154,119 @@ func TestTraceCacheErrorNotCached(t *testing.T) {
 	}
 	if n := tc.Renders(); n != 2 {
 		t.Errorf("failed render was cached: renders = %d, want 2 attempts", n)
+	}
+}
+
+func TestTraceCachePersistentTier(t *testing.T) {
+	dir := t.TempDir()
+	store, err := trace.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := exp.TraceKey{
+		Scene:     "goblet",
+		Layout:    texture.LayoutSpec{Kind: texture.BlockedKind, BlockW: 8},
+		Traversal: raster.Traversal{Order: raster.RowMajor},
+	}
+
+	cold := NewTraceCache()
+	cold.Store = store
+	want, err := cold.SceneTrace(context.Background(), key, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cold.Renders(); n != 1 {
+		t.Fatalf("cold run performed %d renders, want 1", n)
+	}
+
+	// A fresh cache on the same store serves the stream without
+	// rendering, bit-identical to the cold run's.
+	warm := NewTraceCache()
+	warm.Store = store
+	got, err := warm.SceneTrace(context.Background(), key, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := warm.Renders(); n != 0 {
+		t.Errorf("warm run performed %d renders, want 0", n)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("warm stream has %d addresses, cold %d", got.Len(), want.Len())
+	}
+	gc, wc := got.Cursor(), want.Cursor()
+	for wb := wc.Next(); wb != nil; wb = wc.Next() {
+		gb := gc.Next()
+		if len(gb) != len(wb) {
+			t.Fatal("warm stream block sizes diverge from cold")
+		}
+		for i := range wb {
+			if gb[i] != wb[i] {
+				t.Fatalf("warm stream diverges from cold at a block offset %d", i)
+			}
+		}
+	}
+
+	// A corrupted entry silently falls back to rendering.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("store entries: %v (err %v)", ents, err)
+	}
+	p := filepath.Join(dir, ents[0].Name())
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rere := NewTraceCache()
+	rere.Store = store
+	if _, err := rere.SceneTrace(context.Background(), key, 8); err != nil {
+		t.Fatal(err)
+	}
+	if n := rere.Renders(); n != 1 {
+		t.Errorf("corrupted entry caused %d renders, want 1", n)
+	}
+}
+
+func TestRunWithTraceDirMatchesSerial(t *testing.T) {
+	id := "fig5.2"
+	ex, ok := exp.Lookup(id)
+	if !ok {
+		t.Fatalf("missing experiment %s", id)
+	}
+	var sb strings.Builder
+	if err := ex.Run(context.Background(), testCfg, report.NewText(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	want := sb.String()
+
+	// Run 0 populates the store cold; run 1 is a fresh engine warm from
+	// disk. Both must match the serial reference byte for byte.
+	dir := t.TempDir()
+	for run := 0; run < 2; run++ {
+		ch, err := New(WithTraceDir(dir)).Run(context.Background(), []string{id}, testCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range collect(t, ch) {
+			if r.Err != nil {
+				t.Fatalf("run %d: %v", run, r.Err)
+			}
+			if r.Output != want {
+				t.Errorf("run %d: trace-store output differs from serial run", run)
+			}
+		}
+	}
+
+	// An unusable directory fails fast.
+	f := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(WithTraceDir(filepath.Join(f, "sub"))).Run(context.Background(), []string{id}, testCfg); err == nil {
+		t.Error("Run with an unusable -trace-dir succeeded")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"texcache/internal/exp"
 	"texcache/internal/obs"
 	"texcache/internal/scenes"
+	"texcache/internal/trace"
 )
 
 // traceCacheKey is a TraceKey plus the run scale: the full identity of a
@@ -19,21 +20,28 @@ type traceCacheKey struct {
 	scale int
 }
 
-// traceEntry is one slot of the trace cache. ready is closed once tr/err
-// are final; waiters block on it (or their context) instead of holding
-// the cache lock through a render.
+// traceEntry is one slot of the trace cache. ready is closed once
+// str/err are final; waiters block on it (or their context) instead of
+// holding the cache lock through a render.
 type traceEntry struct {
 	ready chan struct{}
-	tr    *cache.Trace
+	str   cache.AddrStream
 	err   error
 }
 
 // TraceCache memoizes rendered traces keyed by (scene, layout, traversal,
 // scale) with single-flight semantics: when several experiments request
-// the same stream concurrently, exactly one goroutine renders it and the
+// the same stream concurrently, exactly one goroutine produces it and the
 // rest wait for that result. It implements exp.TraceProvider, so
 // installing one as Config.Traces makes every experiment in a batch share
 // renders.
+//
+// Entries are held in the compact delta encoding (internal/trace), so a
+// batch's working set is several times smaller than materialized traces;
+// replay consumes the encoded blocks directly. With a Store attached the
+// cache gains a persistent tier: a memory miss first tries the store, and
+// freshly rendered traces are written back, so a later run with the same
+// store skips rendering entirely.
 //
 // Failed renders are not cached: the entry is removed so a later request
 // (perhaps with a different deadline) retries.
@@ -43,6 +51,13 @@ type TraceCache struct {
 	// serial reference path. Traces are bit-identical at any setting.
 	// Set before the first SceneTrace call.
 	RenderWorkers int
+
+	// Store, when non-nil, is the persistent tier consulted between a
+	// memory miss and a render, and written back after each render. Store
+	// failures are never fatal: a bad load is a miss, a failed save
+	// leaves the in-memory entry intact. Set before the first SceneTrace
+	// call.
+	Store *trace.Store
 
 	mu      sync.Mutex
 	entries map[traceCacheKey]*traceEntry
@@ -55,18 +70,20 @@ func NewTraceCache() *TraceCache {
 }
 
 // Renders reports how many renders the cache has actually performed —
-// the denominator of its hit rate.
+// the denominator of its hit rate. Store hits don't count: a warm
+// persistent tier serves a whole batch with zero renders.
 func (tc *TraceCache) Renders() int {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	return tc.renders
 }
 
-// SceneTrace returns the trace for key at the given scale, rendering it
-// on the calling goroutine if no other request got there first. Waiters
-// respect ctx: a cancelled waiter returns early while the render (owned
-// by another caller) continues for whoever still wants it.
-func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale int) (*cache.Trace, error) {
+// SceneTrace returns the address stream for key at the given scale,
+// producing it (store load, else render) on the calling goroutine if no
+// other request got there first. Waiters respect ctx: a cancelled waiter
+// returns early while the production (owned by another caller) continues
+// for whoever still wants it.
+func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale int) (cache.AddrStream, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -77,22 +94,20 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 	if e, ok := tc.entries[ck]; ok {
 		tc.mu.Unlock()
 		// A hit is any request served by an existing entry, including
-		// dedupe hits that wait on an in-flight render.
+		// dedupe hits that wait on an in-flight production.
 		reg.Counter("hits").Inc()
 		select {
 		case <-e.ready:
-			return e.tr, e.err
+			return e.str, e.err
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
 	e := &traceEntry{ready: make(chan struct{})}
 	tc.entries[ck] = e
-	tc.renders++
 	tc.mu.Unlock()
-	reg.Counter("renders").Inc()
 
-	e.tr, e.err = renderTrace(ctx, ck, tc.effectiveRenderWorkers())
+	e.str, e.err = tc.produce(ctx, ck)
 	if e.err != nil {
 		// Drop failed entries so the next request retries.
 		tc.mu.Lock()
@@ -100,7 +115,48 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 		tc.mu.Unlock()
 	}
 	close(e.ready)
-	return e.tr, e.err
+	return e.str, e.err
+}
+
+// produce fills one cache slot: persistent tier first, then a render
+// compacted and written back.
+func (tc *TraceCache) produce(ctx context.Context, ck traceCacheKey) (cache.AddrStream, error) {
+	reg := obs.Default().Sub("engine").Sub("trace_cache")
+	if tc.Store != nil {
+		if c, ok := tc.Store.Load(storeKey(ck)); ok {
+			reg.Counter("store_hits").Inc()
+			return c, nil
+		}
+	}
+	tc.mu.Lock()
+	tc.renders++
+	tc.mu.Unlock()
+	reg.Counter("renders").Inc()
+
+	tr, err := renderTrace(ctx, ck, tc.effectiveRenderWorkers())
+	if err != nil {
+		return nil, err
+	}
+	c := trace.CompactFromTrace(tr)
+	if tc.Store != nil {
+		// Best effort: an unwritable store degrades to cold runs, not
+		// failures.
+		_ = tc.Store.Save(storeKey(ck), c)
+	}
+	return c, nil
+}
+
+// storeKey canonicalizes a trace identity for the persistent store. The
+// layout and traversal structs render via %+v, so any new field (which
+// would change the address stream) automatically changes the key.
+func storeKey(ck traceCacheKey) trace.Key {
+	return trace.Key{
+		Scene:     ck.key.Scene,
+		Scale:     ck.scale,
+		Layout:    fmt.Sprintf("%+v", ck.key.Layout),
+		Traversal: fmt.Sprintf("%+v", ck.key.Traversal),
+		Version:   trace.CodecVersion,
+	}
 }
 
 // effectiveRenderWorkers resolves the configured worker count.

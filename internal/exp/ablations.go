@@ -114,7 +114,7 @@ func runSectored(ctx context.Context, cfg Config, rep report.Reporter) error {
 			scs[i] = sc
 			sinks = append(sinks, sc.Sink())
 		}
-		if err := tr.ReplayConcurrent(ctx, sinks...); err != nil {
+		if err := cache.ReplayStreamConcurrent(ctx, tr, sinks...); err != nil {
 			return err
 		}
 

@@ -27,11 +27,14 @@ type TraceKey struct {
 	Traversal raster.Traversal
 }
 
-// TraceProvider supplies rendered traces. The engine implements it with
-// a keyed, single-flight memoizing cache so concurrent experiments that
-// need the same (scene, layout, traversal) render it exactly once.
+// TraceProvider supplies rendered traces as address streams. The engine
+// implements it with a keyed, single-flight memoizing cache so
+// concurrent experiments that need the same (scene, layout, traversal)
+// render it exactly once; the stream it hands back may be a materialized
+// *cache.Trace or a compact delta-encoded form — replay statistics are
+// bit-identical either way.
 type TraceProvider interface {
-	SceneTrace(ctx context.Context, key TraceKey, scale int) (*cache.Trace, error)
+	SceneTrace(ctx context.Context, key TraceKey, scale int) (cache.AddrStream, error)
 }
 
 // SweepMode selects how an experiment replays a configuration sweep
@@ -164,10 +167,10 @@ func buildScene(cfg Config, name string) (*scenes.Scene, error) {
 	return scenes.ByNameChecked(name, cfg.scale())
 }
 
-// traceScene returns the texel address trace of one rendered frame,
+// traceScene returns the texel address stream of one rendered frame,
 // through the configured provider when one is installed (sharing renders
 // across experiments) and by rendering privately otherwise.
-func traceScene(ctx context.Context, cfg Config, name string, layout texture.LayoutSpec, trav raster.Traversal) (*cache.Trace, error) {
+func traceScene(ctx context.Context, cfg Config, name string, layout texture.LayoutSpec, trav raster.Traversal) (cache.AddrStream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -186,11 +189,11 @@ func traceScene(ctx context.Context, cfg Config, name string, layout texture.Lay
 // per-configuration miss rates, honoring the configured SweepMode. The
 // two modes are bit-identical; grouped is the default because it
 // answers every LRU configuration of a line size from one trace walk.
-func sweepRates(ctx context.Context, cfg Config, tr *cache.Trace, cfgs []cache.Config) ([]float64, error) {
+func sweepRates(ctx context.Context, cfg Config, tr cache.AddrStream, cfgs []cache.Config) ([]float64, error) {
 	if cfg.Sweep == SweepPerConfig {
-		return tr.MissRatesConcurrent(ctx, cfgs)
+		return cache.MissRatesStream(ctx, tr, cfgs)
 	}
-	return tr.MissRatesGrouped(ctx, cfgs)
+	return cache.MissRatesGroupedStream(ctx, tr, cfgs)
 }
 
 // EffectiveRenderWorkers returns the render worker count clamped to a

@@ -95,7 +95,7 @@ func runHilbert(ctx context.Context, cfg Config, rep report.Reporter) error {
 			return err
 		}
 		sd := cache.NewStackDist(128)
-		tr.Replay(sd)
+		cache.ReplayStream(tr, sd)
 		curveRow(rep, tc.label, sd.Curve(curveSizes()))
 	}
 	rep.Note("")
@@ -130,7 +130,7 @@ func runCompress(ctx context.Context, cfg Config, rep report.Reporter) error {
 				return err
 			}
 			c := cache.New(cache.Config{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
-			tr.Replay(c.Sink())
+			cache.ReplayStream(tr, c.Sink())
 			st := c.Stats()
 			rep.Row(name, spec.Kind, 100*st.MissRate(),
 				float64(st.BytesFetched(128))/(1<<20),
@@ -208,7 +208,7 @@ func runLatency(ctx context.Context, cfg Config, rep report.Reporter) error {
 			return err
 		}
 		c := cache.New(cache.Config{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
-		tr.Replay(c.Sink())
+		cache.ReplayStream(tr, c.Sink())
 		mr := c.Stats().MissRate()
 		stalled := model.SustainedFragmentsPerSecond(mr, 128, false)
 		hidden := model.SustainedFragmentsPerSecond(mr, 128, true)

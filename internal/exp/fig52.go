@@ -48,7 +48,7 @@ func runFig52(ctx context.Context, cfg Config, rep report.Reporter) error {
 				return err
 			}
 			sd := cache.NewStackDist(32)
-			tr.Replay(sd)
+			cache.ReplayStream(tr, sd)
 			curveRow(rep, name, sd.Curve(curveSizes()))
 		}
 		rep.Note("")

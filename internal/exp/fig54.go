@@ -70,7 +70,7 @@ func runFig54(ctx context.Context, cfg Config, rep report.Reporter) error {
 			vals := []any{fmt.Sprintf("%dx%d (%s)", bw, bw, cache.FormatSize(lineForBlock(bw)))}
 			for _, line := range fig54Lines {
 				sd := cache.NewStackDist(line)
-				tr.Replay(sd)
+				cache.ReplayStream(tr, sd)
 				vals = append(vals, 100*sd.MissRateAt(cacheSize))
 			}
 			rep.Row(vals...)
@@ -109,7 +109,7 @@ func runFig55(ctx context.Context, cfg Config, rep report.Reporter) error {
 				return err
 			}
 			sd := cache.NewStackDist(lineForBlock(bw))
-			tr.Replay(sd)
+			cache.ReplayStream(tr, sd)
 			vals = append(vals, 100*sd.MissRateAt(cacheSize))
 		}
 		rep.Row(vals...)
@@ -140,7 +140,7 @@ func runFig56(ctx context.Context, cfg Config, rep report.Reporter) error {
 			return err
 		}
 		sd := cache.NewStackDist(lineForBlock(bw))
-		tr.Replay(sd)
+		cache.ReplayStream(tr, sd)
 		curveRow(rep, fmt.Sprintf("%s/%dx%d", cache.FormatSize(lineForBlock(bw)), bw, bw),
 			sd.Curve(curveSizes()))
 	}

@@ -64,7 +64,7 @@ var fig57Scenes = []struct {
 // runAssocSweep prints miss rate vs cache size for each associativity,
 // replaying the trace through the whole (ways x size) grid in one
 // concurrent pass.
-func runAssocSweep(ctx context.Context, cfg Config, rep report.Reporter, tr *cache.Trace, lineBytes int) error {
+func runAssocSweep(ctx context.Context, cfg Config, rep report.Reporter, tr cache.AddrStream, lineBytes int) error {
 	var cfgs []cache.Config
 	for _, ways := range assocWays {
 		for _, size := range curveSizes() {

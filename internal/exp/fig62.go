@@ -44,7 +44,7 @@ func runFig62(ctx context.Context, cfg Config, rep report.Reporter) error {
 			return err
 		}
 		sd := cache.NewStackDist(128)
-		tr.Replay(sd)
+		cache.ReplayStream(tr, sd)
 		label := "untiled"
 		if tile > 0 {
 			label = fmt.Sprintf("%dx%d px", tile, tile)

@@ -71,7 +71,7 @@ func runFig64(ctx context.Context, cfg Config, rep report.Reporter) error {
 			// stream changes per point; the other variants share one
 			// trace across the sweep.
 			sixD := v.label == "tiled 8x8 6D"
-			var tr *cache.Trace
+			var tr cache.AddrStream
 			if !sixD {
 				var err error
 				if tr, err = traceScene(ctx, cfg, sc.name, v.spec, trav); err != nil {
@@ -88,7 +88,7 @@ func runFig64(ctx context.Context, cfg Config, rep report.Reporter) error {
 					}
 				}
 				c := cache.New(cache.Config{SizeBytes: size, LineBytes: lineBytes, Ways: 2})
-				tr.Replay(c.Sink())
+				cache.ReplayStream(tr, c.Sink())
 				vals = append(vals, 100*c.Stats().MissRate())
 			}
 			rep.Row(vals...)
@@ -101,7 +101,7 @@ func runFig64(ctx context.Context, cfg Config, rep report.Reporter) error {
 			return err
 		}
 		sd := cache.NewStackDist(lineBytes)
-		tr.Replay(sd)
+		cache.ReplayStream(tr, sd)
 		vals := []any{"tiled 8x8 blocked FA floor"}
 		for _, r := range sd.Curve(curveSizes()) {
 			vals = append(vals, 100*r)

@@ -179,12 +179,12 @@ func runInterframe(ctx context.Context, cfg Config, rep report.Reporter) error {
 			return err
 		}
 		sd := cache.NewStackDist(128)
-		tr0.Replay(sd)
+		cache.ReplayStream(tr0, sd)
 		footprint := sd.DistinctLines() * 128
 		vals := []any{name, cache.FormatSize(footprint)}
 		for _, sz := range sizes {
 			c := cache.New(cache.Config{SizeBytes: sz, LineBytes: 128, Ways: 2})
-			tr0.Replay(c.Sink())
+			cache.ReplayStream(tr0, c.Sink())
 			f1 := c.Stats()
 			tr1.Replay(c.Sink())
 			f2 := cache.Stats{

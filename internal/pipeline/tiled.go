@@ -224,13 +224,12 @@ func (r *Renderer) renderTile(ts *tileStream, tris []screenTri) {
 // runs by rank. Each tile's stream is already rank-sorted (a clipped
 // scan visits pixels in serial order), so the merge is linear.
 func (r *Renderer) mergeStreams(tris []screenTri, streams []*tileStream) {
-	trace, _ := r.Sink.(*cache.Trace)
+	bulk, _ := r.Sink.(cache.BulkSink)
 	emitRun := func(addrs []uint64) {
-		if trace != nil {
-			// Grow doubles, keeping large-frame merges off append's
-			// decaying growth factor.
-			trace.Grow(len(addrs))
-			trace.Addrs = append(trace.Addrs, addrs...)
+		if bulk != nil {
+			// Bulk append (Trace grows by doubling) instead of a
+			// per-address interface call.
+			bulk.AccessBulk(addrs)
 			return
 		}
 		for _, a := range addrs {
@@ -253,10 +252,10 @@ func (r *Renderer) mergeStreams(tris []screenTri, streams []*tileStream) {
 	// cur[i] walks stream i's span list; spans are in ascending seq.
 	cur := make([]int, len(streams))
 	type head struct {
-		ts       *tileStream
-		span     triSpan
-		frag     int // next fragment record
-		addr     int // next address
+		ts   *tileStream
+		span triSpan
+		frag int // next fragment record
+		addr int // next address
 	}
 	var heads []head
 	for seq := range tris {

@@ -99,8 +99,8 @@ func (r Result) FragmentsPerSecond(clockHz float64, texelsPerFragment int) float
 	return fragments / (float64(r.TotalCyc) / clockHz)
 }
 
-// Simulate replays a texel address trace through the prefetching unit.
-func Simulate(cfg Config, trace *cache.Trace) (Result, error) {
+// Simulate replays a texel address stream through the prefetching unit.
+func Simulate(cfg Config, trace cache.AddrStream) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -130,24 +130,31 @@ func Simulate(cfg Config, trace *cache.Trace) (Result, error) {
 	var stallAccUnits uint64
 	var backDelay uint64 // total stall so far; shifts both rasterizers
 
-	for i := 0; i < trace.Len(); i++ {
-		if c.Access(trace.Addrs[i]) {
-			continue
-		}
-		res.Misses++
-		idx := uint64(i)
-		issueTime := backDelay
-		if idx > leadAccesses {
-			issueTime += idx - leadAccesses
-		}
-		start := max64(issueTime, channelFree)
-		done := start + latency + occupancy
-		channelFree = start + occupancy
+	// Walk the stream block by block, keeping an absolute access index —
+	// the timing math depends on each access's position in the frame.
+	cur := trace.Cursor()
+	var next uint64
+	for block := cur.Next(); block != nil; block = cur.Next() {
+		for _, a := range block {
+			idx := next
+			next++
+			if c.Access(a) {
+				continue
+			}
+			res.Misses++
+			issueTime := backDelay
+			if idx > leadAccesses {
+				issueTime += idx - leadAccesses
+			}
+			start := max64(issueTime, channelFree)
+			done := start + latency + occupancy
+			channelFree = start + occupancy
 
-		if useTime := idx + backDelay; done > useTime {
-			stall := done - useTime
-			backDelay += stall
-			stallAccUnits += stall
+			if useTime := idx + backDelay; done > useTime {
+				stall := done - useTime
+				backDelay += stall
+				stallAccUnits += stall
+			}
 		}
 	}
 
