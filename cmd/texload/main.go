@@ -1,0 +1,147 @@
+// Command texload is the texserve load-generator client: it posts one
+// ExperimentRequest document — built from flags exactly as cmd/texsim
+// builds its own, or loaded from a wire-form file — at a running server
+// from N concurrent clients and reports throughput, latency percentiles
+// and the status-code mix.
+//
+// Usage:
+//
+//	texload -url http://127.0.0.1:8321 -clients 8 -n 32 -exp fig5.2 -scale 8
+//	texload -url http://127.0.0.1:8321 -clients 4 -n 16 \
+//	    -scene goblet -configs 32768:128:2,16384:64:1
+//	texload -url http://127.0.0.1:8321 -request sweep.json -tenant bench
+//
+// -configs takes SIZE:LINE:WAYS[:POLICY] triples (bytes; policy lru,
+// fifo or random) and makes the request a custom sweep over -scene.
+// The exit status encodes the verdict scripts care about: 0 when at
+// least one request completed and the server returned no 5xx, 1
+// otherwise — `make serve-smoke` is exactly that check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"texcache"
+	"texcache/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// parseConfigs turns "SIZE:LINE:WAYS[:POLICY],..." into wire cache
+// configurations.
+func parseConfigs(s string) ([]texcache.RequestCacheConfig, error) {
+	var out []texcache.RequestCacheConfig
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("config %q: want SIZE:LINE:WAYS[:POLICY]", part)
+		}
+		nums := make([]int, 3)
+		for i := range nums {
+			v, err := strconv.Atoi(fields[i])
+			if err != nil {
+				return nil, fmt.Errorf("config %q: %v", part, err)
+			}
+			nums[i] = v
+		}
+		cc := texcache.RequestCacheConfig{SizeBytes: nums[0], LineBytes: nums[1], Ways: nums[2]}
+		if len(fields) == 4 {
+			cc.Policy = fields[3]
+		}
+		out = append(out, cc)
+	}
+	return out, nil
+}
+
+// buildRequest assembles the request body from flags or a wire file.
+func buildRequest(reqFile, exps, scenes, scene, configs string, scale, renderW int, tenant string) ([]byte, error) {
+	if reqFile != "" {
+		return os.ReadFile(reqFile)
+	}
+	req := texcache.ExperimentRequest{Tenant: tenant, Scale: scale, RenderWorkers: renderW}
+	if exps != "" && exps != "all" {
+		req.Experiments = strings.Split(exps, ",")
+	}
+	if scenes != "" {
+		req.Scenes = strings.Split(scenes, ",")
+	}
+	if scene != "" {
+		req.Scene = scene
+		cfgs, err := parseConfigs(configs)
+		if err != nil {
+			return nil, err
+		}
+		req.Configs = cfgs
+	}
+	if err := texcache.ValidateRequest(texcache.NormalizeRequest(req)); err != nil {
+		return nil, err
+	}
+	return json.Marshal(req)
+}
+
+func run() int {
+	url := flag.String("url", "http://127.0.0.1:8321", "texserve base URL")
+	clients := flag.Int("clients", 4, "concurrent posting clients")
+	n := flag.Int("n", 0, "total requests (default: one per client)")
+	tenant := flag.String("tenant", "", "tenant name sent with each request")
+	exps := flag.String("exp", "", "experiment IDs for the posted request (comma-separated, or 'all')")
+	scenes := flag.String("scenes", "", "scene subset for the posted request")
+	scene := flag.String("scene", "", "sweep scene (with -configs)")
+	configs := flag.String("configs", "", "sweep cache configs, SIZE:LINE:WAYS[:POLICY],...")
+	scale := flag.Int("scale", 8, "resolution divisor for the posted request")
+	renderW := flag.Int("render-workers", 0, "render workers requested per render")
+	reqFile := flag.String("request", "", "post this wire-form JSON request file instead of building one from flags")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall run deadline")
+	jsonOut := flag.Bool("json", false, "print the stats as JSON instead of a summary line")
+	flag.Parse()
+
+	if *scene == "" && *configs != "" {
+		fmt.Fprintln(os.Stderr, "texload: -configs needs -scene")
+		return 2
+	}
+	body, err := buildRequest(*reqFile, *exps, *scenes, *scene, *configs, *scale, *renderW, *tenant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texload:", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	stats, err := load.Run(ctx, load.Options{
+		BaseURL:  *url,
+		Clients:  *clients,
+		Requests: *n,
+		Body:     body,
+		Tenant:   *tenant,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texload:", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(stats)
+	} else {
+		fmt.Println(stats)
+	}
+	if stats.Completed == 0 || stats.ServerErrors > 0 {
+		fmt.Fprintln(os.Stderr, "texload: FAIL: zero completed requests or server errors seen")
+		return 1
+	}
+	return 0
+}

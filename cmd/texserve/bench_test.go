@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"texcache/internal/load"
+)
+
+// benchBodies is the saturation workload: 16 render-dominated custom
+// sweeps over distinct (layout, traversal) trace keys, rotated across
+// benchRequests posts. Cold, the burst must render each key once
+// — coalescing caps renders at the distinct-key count — while a warm
+// server answers every one from the store, so the cold/warm contrast
+// isolates exactly the render cost the persistence tier removes.
+func benchBodies() [][]byte {
+	configs := `"configs":[` +
+		`{"size_bytes":32768,"line_bytes":128,"ways":2},` +
+		`{"size_bytes":16384,"line_bytes":64,"ways":4}]`
+	layouts := []string{
+		`"layout":{"kind":"blocked","block_w":4}`,
+		`"layout":{"kind":"blocked","block_w":8}`,
+		`"layout":{"kind":"blocked","block_w":16}`,
+		`"layout":{"kind":"blocked","block_w":32}`,
+		`"layout":{"kind":"nonblocked"}`,
+		`"layout":{"kind":"padded","block_w":8,"pad_blocks":1}`,
+		`"layout":{"kind":"padded","block_w":16,"pad_blocks":1}`,
+		`"layout":{"kind":"6d","block_w":8,"super_bytes":32768}`,
+	}
+	var bodies [][]byte
+	for _, trav := range []string{`"order":"horizontal"`, `"order":"hilbert"`} {
+		for _, layout := range layouts {
+			bodies = append(bodies, []byte(`{"scene":"goblet","scale":4,`+
+				layout+`,"traversal":{`+trav+`},`+configs+`}`))
+		}
+	}
+	return bodies
+}
+
+const (
+	benchClients  = 16
+	benchRequests = 24 // > benchKeys, so the burst demonstrates coalescing
+	benchKeys     = 16 // distinct trace keys in benchBodies
+)
+
+// benchRun saturates a fresh server backed by the given trace dir and
+// returns the run stats plus the render count the server performed.
+func benchRun(t testing.TB, dir string) (load.Stats, int) {
+	t.Helper()
+	s, err := newServer(serverConfig{Workers: 4, Queue: 64, TraceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	stats, err := load.Run(context.Background(), load.Options{
+		BaseURL:  ts.URL,
+		Clients:  benchClients,
+		Requests: benchRequests,
+		Bodies:   benchBodies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != benchRequests || stats.ServerErrors > 0 {
+		t.Fatalf("bench run unhealthy: %v", stats)
+	}
+	return stats, s.traces.Renders()
+}
+
+// serverBench is the BENCH_server.json document.
+type serverBench struct {
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests"`
+	ColdRPS     float64 `json:"cold_rps"`
+	ColdP50Ms   float64 `json:"cold_p50_ms"`
+	ColdP99Ms   float64 `json:"cold_p99_ms"`
+	WarmRPS     float64 `json:"warm_rps"`
+	WarmP50Ms   float64 `json:"warm_p50_ms"`
+	WarmP99Ms   float64 `json:"warm_p99_ms"`
+	Speedup     float64 `json:"warm_over_cold_speedup"`
+	ColdRenders int     `json:"cold_renders"`
+	WarmRenders int     `json:"warm_renders"`
+}
+
+// TestServerWarmSpeedup is the third bench-check gate (`make
+// bench-check`): a 16-client saturation burst against a warm server
+// (trace store populated, every request answered without rendering)
+// must complete at least 2x faster than the cold burst that has to
+// render. It also pins the coalescing acceptance bound — the cold burst
+// performs exactly as many renders as the workload has distinct trace
+// keys (one), never one per request — and, when TEXSERVE_BENCH_OUT is
+// set (`make bench-server`), writes the measured requests/s and
+// latency percentiles to that file.
+func TestServerWarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	warmDir := t.TempDir()
+	if _, renders := benchRun(t, warmDir); renders != benchKeys {
+		// Populate the store, untimed. 2x requests per key, but renders
+		// coalesce to the distinct-key count.
+		t.Fatalf("cold renders = %d, want %d (one per distinct trace key)", renders, benchKeys)
+	}
+
+	best := func(run func() load.Stats) load.Stats {
+		bestS := run()
+		for i := 0; i < 2; i++ {
+			if s := run(); s.Elapsed < bestS.Elapsed {
+				bestS = s
+			}
+		}
+		return bestS
+	}
+	var coldRenders, warmRenders int
+	cold := best(func() load.Stats {
+		s, r := benchRun(t, t.TempDir()) // fresh dir: really renders
+		coldRenders = r
+		return s
+	})
+	warm := best(func() load.Stats {
+		s, r := benchRun(t, warmDir) // fresh server, warm store
+		warmRenders = r
+		return s
+	})
+	if coldRenders != benchKeys {
+		t.Errorf("cold renders = %d, want %d (coalesced to the distinct key count)", coldRenders, benchKeys)
+	}
+	if warmRenders != 0 {
+		t.Errorf("warm renders = %d, want 0 (served from the store)", warmRenders)
+	}
+
+	speedup := float64(cold.Elapsed) / float64(warm.Elapsed)
+	t.Logf("cold %v (%0.1f req/s), warm %v (%0.1f req/s): %.2fx", cold.Elapsed, cold.RPS, warm.Elapsed, warm.RPS, speedup)
+	if speedup < 2 {
+		t.Errorf("warm saturation speedup %.2fx, want >= 2x (cold %v, warm %v)", speedup, cold.Elapsed, warm.Elapsed)
+	}
+
+	if out := os.Getenv("TEXSERVE_BENCH_OUT"); out != "" {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		doc := serverBench{
+			Clients: benchClients, Requests: benchRequests,
+			ColdRPS: cold.RPS, ColdP50Ms: ms(cold.P50), ColdP99Ms: ms(cold.P99),
+			WarmRPS: warm.RPS, WarmP50Ms: ms(warm.P50), WarmP99Ms: ms(warm.P99),
+			Speedup: speedup, ColdRenders: coldRenders, WarmRenders: warmRenders,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}

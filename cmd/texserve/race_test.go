@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with -race.
+// The warm/cold timing gate is meaningless under the detector's ~10x
+// slowdown and defers to the non-race bench-check leg.
+const raceEnabled = true

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"texcache"
+)
+
+// errSaturated is returned by acquire when the tenant's waiter queue is
+// at capacity; the handler maps it to 429 + Retry-After.
+var errSaturated = texcache.RequestErrorf(texcache.RequestCodeSaturated,
+	"server saturated: tenant queue full, retry later")
+
+// scheduler is a bounded worker pool with per-tenant fair queuing. A
+// fixed number of slots bounds how many requests replay at once; when
+// every slot is busy, requests wait in per-tenant FIFO queues that are
+// granted slots round-robin across tenants, so one chatty tenant cannot
+// starve the rest. Each tenant's queue has a fixed depth; beyond it,
+// acquire fails fast with errSaturated instead of queuing — the
+// backpressure signal the handler turns into 429.
+type scheduler struct {
+	mu       sync.Mutex
+	slots    int // free slots
+	maxQueue int // per-tenant waiter cap
+	queues   map[string][]*waiter
+	ring     []string // round-robin tenant grant order
+	next     int      // ring cursor
+}
+
+// waiter is one queued acquire. All fields are guarded by scheduler.mu;
+// ready is closed exactly once, under the lock, when the waiter is
+// granted a slot.
+type waiter struct {
+	ready     chan struct{}
+	granted   bool
+	cancelled bool
+}
+
+func newScheduler(workers, maxQueue int) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxQueue < 1 {
+		maxQueue = 1
+	}
+	return &scheduler{
+		slots:    workers,
+		maxQueue: maxQueue,
+		queues:   map[string][]*waiter{},
+	}
+}
+
+// acquire blocks until the tenant is granted a worker slot or ctx is
+// done. It returns errSaturated immediately — without queuing — when the
+// tenant already has maxQueue requests waiting. Every successful acquire
+// must be paired with exactly one release.
+func (s *scheduler) acquire(ctx context.Context, tenant string) error {
+	s.mu.Lock()
+	if s.slots > 0 && s.waiting() == 0 {
+		s.slots--
+		s.mu.Unlock()
+		return nil
+	}
+	if len(s.queues[tenant]) >= s.maxQueue {
+		s.mu.Unlock()
+		sched().Counter("saturated").Inc()
+		return errSaturated
+	}
+	w := &waiter{ready: make(chan struct{})}
+	if _, known := s.queues[tenant]; !known {
+		s.ring = append(s.ring, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], w)
+	// A slot may be free when waiters exist (release grants under the
+	// same lock, so only transiently) — hand it to the fairest waiter,
+	// possibly this one.
+	if s.slots > 0 {
+		s.slots--
+		s.grantNext()
+	}
+	s.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-w.ready:
+		sched().Timer("queue_wait").Observe(time.Since(start))
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// Lost the race: the slot was already handed to us. Pass it
+			// on (or free it) before reporting cancellation.
+			s.releaseLocked()
+			s.mu.Unlock()
+			return ctx.Err()
+		}
+		w.cancelled = true
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns a slot to the pool, granting it to the next waiter in
+// round-robin tenant order when one exists.
+func (s *scheduler) release() {
+	s.mu.Lock()
+	s.releaseLocked()
+	s.mu.Unlock()
+}
+
+func (s *scheduler) releaseLocked() {
+	s.grantNext()
+	// grantNext either handed the slot to a waiter or left it with us.
+}
+
+// grantNext pops the next non-cancelled waiter in round-robin tenant
+// order and hands it the caller's slot (the caller must own one: either
+// a releasing request or an acquire that just took the last free slot).
+// If no waiter is live, the slot goes back to the free pool.
+func (s *scheduler) grantNext() {
+	for range s.ring {
+		tenant := s.ring[s.next%len(s.ring)]
+		q := s.queues[tenant]
+		// Drop abandoned waiters without granting.
+		for len(q) > 0 && q[0].cancelled {
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			// Tenant idle: drop it from the ring so it does not inflate
+			// the rotation. Its map entry goes too (recreated on next
+			// use).
+			delete(s.queues, tenant)
+			s.ring = append(s.ring[:s.next%len(s.ring)], s.ring[s.next%len(s.ring)+1:]...)
+			if len(s.ring) == 0 {
+				break
+			}
+			continue
+		}
+		w := q[0]
+		s.queues[tenant] = q[1:]
+		w.granted = true
+		close(w.ready)
+		s.next = (s.next%len(s.ring) + 1) % len(s.ring)
+		return
+	}
+	s.slots++
+}
+
+// waiting reports the total queued waiter count (lock held).
+func (s *scheduler) waiting() int {
+	n := 0
+	for _, q := range s.queues {
+		for _, w := range q {
+			if !w.cancelled {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sched is the scheduler's metrics scope.
+func sched() *texcache.MetricsRegistry {
+	return texcache.AttachedMetrics().Sub("server").Sub("sched")
+}

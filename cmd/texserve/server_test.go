@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"texcache"
+)
+
+func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// errorBody decodes a typed error response.
+func errorBody(t *testing.T, resp *http.Response) texcache.RequestError {
+	t.Helper()
+	var re texcache.RequestError
+	if err := json.NewDecoder(resp.Body).Decode(&re); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	return re
+}
+
+// TestHandlerErrors is the handler truth table: each bad request gets
+// the right status and a typed JSON body with the right wire code.
+func TestHandlerErrors(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 1})
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"bad json", `{"scene":`, http.StatusBadRequest, texcache.RequestCodeBadRequest},
+		{"unknown field", `{"scnee":"goblet"}`, http.StatusBadRequest, texcache.RequestCodeBadRequest},
+		{"bad version", `{"v":9}`, http.StatusBadRequest, texcache.RequestCodeBadRequest},
+		{"unknown experiment", `{"experiments":["bogus"]}`, http.StatusNotFound, texcache.RequestCodeUnknownExperiment},
+		{"unknown scene", `{"scene":"nowhere","configs":[{"size_bytes":32768,"line_bytes":128,"ways":2}]}`,
+			http.StatusNotFound, texcache.RequestCodeUnknownScene},
+		{"sweep without configs", `{"scene":"goblet"}`, http.StatusBadRequest, texcache.RequestCodeBadRequest},
+		{"bad cache geometry", `{"scene":"goblet","configs":[{"size_bytes":100,"line_bytes":128,"ways":2}]}`,
+			http.StatusBadRequest, texcache.RequestCodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if got := resp.Header.Get("X-Texcache-Api-Version"); got != "1" {
+				t.Errorf("version header = %q, want 1", got)
+			}
+			re := errorBody(t, resp)
+			if re.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", re.Code, tc.wantCode)
+			}
+			if re.V != texcache.APIVersion {
+				t.Errorf("error body v = %d, want %d", re.V, texcache.APIVersion)
+			}
+			if re.Message == "" {
+				t.Error("error body has no message")
+			}
+		})
+	}
+}
+
+func TestHandlerMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 1})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/experiments", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Errorf("Allow = %q, want GET, POST", allow)
+	}
+}
+
+func TestHandlerList(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		V           int      `json:"v"`
+		Experiments []string `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.V != 1 || len(body.Experiments) == 0 {
+		t.Errorf("list = %+v, want v1 and a non-empty registry", body)
+	}
+	want := texcache.ExperimentIDs()
+	if len(body.Experiments) != len(want) {
+		t.Errorf("listed %d experiments, registry has %d", len(body.Experiments), len(want))
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 1})
+	for _, path := range []string{"/healthz", "/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHandlerSaturation pins the backpressure path: with the only slot
+// held and the tenant's queue full, a request gets 429, a saturated
+// error body and a Retry-After header — deterministically, because the
+// test owns the slot.
+func TestHandlerSaturation(t *testing.T) {
+	s, ts := testServer(t, serverConfig{Workers: 1, Queue: 1})
+	ctx := context.Background()
+	if err := s.sched.acquire(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- s.sched.acquire(ctx, "t") }()
+	waitQueued(t, s.sched, 1)
+	t.Cleanup(func() {
+		s.sched.release() // frees the held slot, granting the queued waiter
+		if err := <-queued; err == nil {
+			s.sched.release()
+		}
+	})
+
+	body := `{"tenant":"t","experiments":["fig5.2"],"scale":8}`
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want 1", ra)
+	}
+	if re := errorBody(t, resp); re.Code != texcache.RequestCodeSaturated {
+		t.Errorf("code = %q, want saturated", re.Code)
+	}
+}

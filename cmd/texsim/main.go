@@ -1,11 +1,14 @@
 // Command texsim regenerates the paper's tables and figures from fresh
 // simulations of the four benchmark scenes.
 //
-// Experiments run concurrently through the texcache engine: each needed
-// (scene, layout, traversal) trace is rendered exactly once across the
-// batch, and multi-configuration sweeps replay each trace in a single
-// pass. Output is re-serialized into the requested order, so it is
-// byte-for-byte the serial output regardless of -workers.
+// Every invocation builds one texcache.ExperimentRequest — the same
+// versioned struct the texserve server accepts over HTTP — validates it
+// through the shared request validator, and runs it through the engine.
+// Experiments run concurrently: each needed (scene, layout, traversal)
+// trace is rendered exactly once across the batch, and
+// multi-configuration sweeps replay each trace in a single pass. Output
+// is re-serialized into the requested order, so it is byte-for-byte the
+// serial output regardless of -workers.
 //
 // Usage:
 //
@@ -18,6 +21,15 @@
 //	texsim -exp all -cpuprofile cpu.out -memprofile mem.out
 //	texsim -exp fig5.7 -grouped=false     # per-configuration sweep replay
 //	texsim -exp all -trace-dir .traces    # persist renders across runs
+//	texsim -request sweep.json -json      # run a wire-form request file
+//
+// -request reads a JSON texcache.ExperimentRequest from the given file
+// ("-" for stdin) — the exact body texserve accepts — so any request a
+// client would POST can be reproduced locally; the output is
+// byte-identical to the server's NDJSON stream for the same request.
+// The experiment-selection flags (-exp, -scenes, -scale, -workers,
+// -render-workers, -grouped) are rejected alongside -request: the file
+// is the whole request.
 //
 // -trace-dir keeps every rendered texel trace in a content-addressed,
 // checksummed store under the given directory (created if needed): a
@@ -40,14 +52,18 @@
 // port, printed on stderr. A summary of the run's metrics (experiments,
 // renders, replayed addresses, timings) is printed to stderr at exit.
 //
-// SIGINT / SIGTERM cancel the batch; experiments stop between frames.
+// Invalid requests (bad scale, unknown experiment or scene, malformed
+// request file) exit 2 before any work starts. SIGINT / SIGTERM cancel
+// the batch; experiments stop between frames.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -63,64 +79,124 @@ func main() {
 	os.Exit(run())
 }
 
+// flags bundles the command line for request building and testing.
+type flags struct {
+	id          string
+	scale       int
+	scenes      string
+	workers     int
+	renderW     int
+	grouped     bool
+	requestFile string
+}
+
+// buildRequest maps the experiment-selection flags onto the shared
+// request struct, or loads the wire form from -request. The returned
+// request is exactly what texcache.Run (and texserve) consume; all
+// validation happens in the shared api validator, not here.
+func buildRequest(f flags, stdin io.Reader) (texcache.ExperimentRequest, error) {
+	if f.requestFile != "" {
+		if f.id != "" || f.scenes != "" {
+			return texcache.ExperimentRequest{}, errors.New("-request replaces -exp/-scenes; drop them")
+		}
+		r := stdin
+		if f.requestFile != "-" {
+			file, err := os.Open(f.requestFile)
+			if err != nil {
+				return texcache.ExperimentRequest{}, err
+			}
+			defer file.Close()
+			r = file
+		}
+		var req texcache.ExperimentRequest
+		dec := json.NewDecoder(r)
+		if err := dec.Decode(&req); err != nil {
+			return texcache.ExperimentRequest{}, fmt.Errorf("parsing %s: %w", f.requestFile, err)
+		}
+		return req, nil
+	}
+	req := texcache.ExperimentRequest{
+		Scale:         f.scale,
+		Workers:       f.workers,
+		RenderWorkers: f.renderW,
+	}
+	if f.id != "all" {
+		req.Experiments = strings.Split(f.id, ",")
+	}
+	if f.scenes != "" {
+		req.Scenes = strings.Split(f.scenes, ",")
+	}
+	if !f.grouped {
+		req.Sweep = texcache.RequestSweepPerConfig
+	}
+	return req, nil
+}
+
 func run() int {
-	var (
-		id       = flag.String("exp", "", "experiment ID, comma-separated list, or 'all'")
-		scale    = flag.Int("scale", 2, "resolution divisor (1 = the paper's full size)")
-		list     = flag.Bool("list", false, "list available experiments")
-		scenes   = flag.String("scenes", "", "comma-separated scene subset (default: each experiment's own)")
-		workers  = flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
-		renderW  = flag.Int("render-workers", 0, "tile-parallel rasterization workers per render (0 = GOMAXPROCS, 1 = serial; traces are bit-identical at any setting)")
-		jsonOut  = flag.Bool("json", false, "emit NDJSON rows on stdout instead of text tables")
-		metrics  = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address (e.g. :8080, :0)")
-		progress = flag.Bool("progress", false, "print per-experiment completion lines on stderr")
-		grouped  = flag.Bool("grouped", true, "answer each sweep's LRU configurations from one grouped trace walk (false = one cache per configuration; output is identical)")
-		traceDir = flag.String("trace-dir", "", "persist rendered traces in this directory and reuse them across runs (output is identical)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-	)
+	var f flags
+	flag.StringVar(&f.id, "exp", "", "experiment ID, comma-separated list, or 'all'")
+	flag.IntVar(&f.scale, "scale", 2, "resolution divisor (1 = the paper's full size)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.StringVar(&f.scenes, "scenes", "", "comma-separated scene subset (default: each experiment's own)")
+	flag.IntVar(&f.workers, "workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	flag.IntVar(&f.renderW, "render-workers", 0, "tile-parallel rasterization workers per render (0 = GOMAXPROCS, 1 = serial; traces are bit-identical at any setting)")
+	jsonOut := flag.Bool("json", false, "emit NDJSON rows on stdout instead of text tables")
+	metrics := flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address (e.g. :8080, :0)")
+	progress := flag.Bool("progress", false, "print per-experiment completion lines on stderr")
+	flag.BoolVar(&f.grouped, "grouped", true, "answer each sweep's LRU configurations from one grouped trace walk (false = one cache per configuration; output is identical)")
+	flag.StringVar(&f.requestFile, "request", "", "run a JSON ExperimentRequest from this file ('-' = stdin), the texserve wire form")
+	traceDir := flag.String("trace-dir", "", "persist rendered traces in this directory and reuse them across runs (output is identical)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	if err := validateFlags(*scale, *workers, *renderW); err != nil {
+	if *list || (f.id == "" && f.requestFile == "") {
+		fmt.Println("experiments:")
+		for _, eid := range texcache.ExperimentIDs() {
+			fmt.Printf("  %s\n", eid)
+		}
+		if f.id == "" && f.requestFile == "" && !*list {
+			return 2
+		}
+		return 0
+	}
+
+	req, err := buildRequest(f, os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texsim:", err)
+		return 2
+	}
+	// One shared validation path with texserve and the library: an
+	// invalid request exits 2 here exactly as it would 400 there.
+	if err := texcache.ValidateRequest(texcache.NormalizeRequest(req)); err != nil {
 		fmt.Fprintln(os.Stderr, "texsim:", err)
 		return 2
 	}
 
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
+		file, err := os.Create(*cpuProf)
 		if err != nil {
 			return fail(err)
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
+		defer file.Close()
+		if err := pprof.StartCPUProfile(file); err != nil {
 			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProf != "" {
 		defer func() {
-			f, err := os.Create(*memProf)
+			file, err := os.Create(*memProf)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "texsim:", err)
 				return
 			}
-			defer f.Close()
+			defer file.Close()
 			runtime.GC() // settle the heap so the profile reflects live data
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := pprof.WriteHeapProfile(file); err != nil {
 				fmt.Fprintln(os.Stderr, "texsim:", err)
 			}
 		}()
-	}
-
-	if *list || *id == "" {
-		fmt.Println("experiments:")
-		for _, eid := range texcache.ExperimentIDs() {
-			fmt.Printf("  %s\n", eid)
-		}
-		if *id == "" && !*list {
-			return 2
-		}
-		return 0
 	}
 
 	// The CLI always collects metrics (the library itself stays no-op
@@ -138,26 +214,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "texsim: metrics at http://%s/debug/vars\n", ln.Addr())
 	}
 
-	cfg := texcache.ExperimentConfig{Scale: *scale, RenderWorkers: *renderW}
-	if !*grouped {
-		cfg.Sweep = texcache.SweepPerConfig
-	}
-	if *scenes != "" {
-		cfg.Scenes = strings.Split(*scenes, ",")
-	}
-
-	var ids []string
-	if *id != "all" {
-		ids = strings.Split(*id, ",")
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	opts := []texcache.ExperimentOption{
-		texcache.WithWorkers(*workers),
-		texcache.WithRenderWorkers(*renderW),
-	}
+	var opts []texcache.ExperimentOption
 	if *traceDir != "" {
 		opts = append(opts, texcache.WithTraceDir(*traceDir))
 	}
@@ -173,40 +233,33 @@ func run() int {
 	}
 
 	start := time.Now()
-	results, err := texcache.RunExperiments(ctx, ids, cfg, opts...)
+	results, err := texcache.Run(ctx, req, opts...)
 	if err != nil {
 		return fail(err)
 	}
 
-	// Results arrive in completion order; buffer and print in request
-	// order so the output is deterministic.
-	if ids == nil {
-		ids = texcache.ExperimentIDs()
-	}
-	pending := make(map[int]texcache.ExperimentResult, len(ids))
-	next := 0
 	var firstErr error
-	flush := func(r texcache.ExperimentResult) {
-		if *jsonOut {
-			// Pure NDJSON on stdout: replay the recorded report through a
-			// JSON reporter stamping every line with the experiment ID.
-			if r.Report != nil {
-				jr := texcache.NewJSONReporter(os.Stdout)
-				jr.Exp = r.ID
-				r.Report.Replay(jr)
-				if err := jr.Err(); err != nil && firstErr == nil {
-					firstErr = err
-				}
-			}
+	if *jsonOut {
+		// Pure NDJSON on stdout, the exact bytes texserve streams for
+		// this request; failures go to stderr only.
+		firstErr = texcache.WriteResultsNDJSON(os.Stdout, results, func(r texcache.ExperimentResult) {
 			if r.Err != nil {
 				fmt.Fprintf(os.Stderr, "texsim: %s: %v\n", r.ID, r.Err)
-				if firstErr == nil {
-					firstErr = r.Err
-				}
 			}
-			return
+		})
+		fmt.Fprintf(os.Stderr, "texsim: summary: %s\n", reg.SummaryLine())
+		if firstErr != nil {
+			return fail(firstErr)
 		}
-		fmt.Printf("=== %s: %s (scale %d) ===\n", r.ID, r.Title, *scale)
+		return 0
+	}
+
+	// Results arrive in completion order; buffer and print in request
+	// order so the output is deterministic.
+	done := 0
+	flush := func(r texcache.ExperimentResult) {
+		done++
+		fmt.Printf("=== %s: %s (scale %d) ===\n", r.ID, r.Title, texcache.NormalizeRequest(req).Scale)
 		os.Stdout.WriteString(r.Output)
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "texsim: %s: %v\n", r.ID, r.Err)
@@ -217,6 +270,8 @@ func run() int {
 		}
 		fmt.Printf("--- %s done in %v ---\n\n", r.ID, r.Elapsed.Round(time.Millisecond))
 	}
+	pending := map[int]texcache.ExperimentResult{}
+	next := 0
 	for r := range results {
 		pending[r.Index] = r
 		for {
@@ -233,26 +288,8 @@ func run() int {
 	if firstErr != nil {
 		return fail(firstErr)
 	}
-	if !*jsonOut {
-		fmt.Printf("=== %d experiments in %v ===\n", len(ids), time.Since(start).Round(time.Millisecond))
-	}
+	fmt.Printf("=== %d experiments in %v ===\n", done, time.Since(start).Round(time.Millisecond))
 	return 0
-}
-
-// validateFlags rejects numeric flag values that would otherwise be
-// silently clamped, with an error naming the flag and the accepted
-// range.
-func validateFlags(scale, workers, renderWorkers int) error {
-	if scale < 1 {
-		return fmt.Errorf("-scale %d: must be >= 1 (1 = the paper's full size)", scale)
-	}
-	if workers < 0 {
-		return fmt.Errorf("-workers %d: must be >= 0 (0 = GOMAXPROCS)", workers)
-	}
-	if renderWorkers < 0 {
-		return fmt.Errorf("-render-workers %d: must be >= 0 (0 = GOMAXPROCS)", renderWorkers)
-	}
-	return nil
 }
 
 // fail prints err in the friendliest applicable form and returns the
@@ -262,6 +299,7 @@ func fail(err error) int {
 		ce *texcache.ConfigError
 		ue *texcache.UnknownExperimentError
 		se *texcache.UnknownSceneError
+		re *texcache.RequestError
 	)
 	switch {
 	case errors.As(err, &ce):
@@ -274,6 +312,9 @@ func fail(err error) int {
 		return 2
 	case errors.As(err, &se):
 		fmt.Fprintf(os.Stderr, "texsim: unknown scene %q (want flight, town, guitar or goblet)\n", se.Name)
+		return 2
+	case errors.As(err, &re):
+		fmt.Fprintf(os.Stderr, "texsim: invalid request: %v\n", re)
 		return 2
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "texsim: interrupted")

@@ -3,36 +3,87 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"texcache"
 )
 
-func TestValidateFlags(t *testing.T) {
+// TestBuildRequest pins the flag → ExperimentRequest mapping and the
+// shared validation path: the same api.Validate that gates texserve
+// requests is what exits 2 here.
+func TestBuildRequest(t *testing.T) {
 	cases := []struct {
-		name                    string
-		scale, workers, renderW int
-		wantErr                 string // substring; empty = valid
+		name    string
+		f       flags
+		stdin   string
+		wantErr string // substring of build or validation error; empty = valid
 	}{
-		{"defaults", 2, 0, 0, ""},
-		{"full size", 1, 8, 4, ""},
-		{"zero scale", 0, 0, 0, "-scale 0"},
-		{"negative scale", -3, 0, 0, "-scale -3"},
-		{"negative workers", 2, -1, 0, "-workers -1"},
-		{"negative render workers", 2, 0, -2, "-render-workers -2"},
+		{name: "defaults", f: flags{id: "all", scale: 2, grouped: true}},
+		{name: "full size", f: flags{id: "fig5.2", scale: 1, workers: 8, renderW: 4, grouped: true}},
+		// Scale 0 is the wire form's "use the default" (an omitted JSON
+		// field), so it normalizes to the default rather than erroring.
+		{name: "zero scale is default", f: flags{id: "all", scale: 0, grouped: true}},
+		{name: "negative scale", f: flags{id: "all", scale: -3, grouped: true}, wantErr: "scale"},
+		{name: "negative workers", f: flags{id: "all", scale: 2, workers: -1, grouped: true}, wantErr: "workers"},
+		{name: "negative render workers", f: flags{id: "all", scale: 2, renderW: -2, grouped: true}, wantErr: "render_workers"},
+		{name: "unknown experiment", f: flags{id: "bogus", scale: 2, grouped: true}, wantErr: "unknown experiment"},
+		{name: "unknown scene", f: flags{id: "all", scale: 2, scenes: "nowhere", grouped: true}, wantErr: "unknown scene"},
+		{name: "request file plus exp", f: flags{id: "all", scale: 2, grouped: true, requestFile: "-"}, wantErr: "-request"},
+		{name: "request from stdin", f: flags{scale: 2, grouped: true, requestFile: "-"},
+			stdin: `{"scene":"goblet","configs":[{"size_bytes":32768,"line_bytes":128,"ways":2}]}`},
+		{name: "bad request json", f: flags{scale: 2, grouped: true, requestFile: "-"},
+			stdin: `{"scene":`, wantErr: "parsing"},
+		{name: "request bad config", f: flags{scale: 2, grouped: true, requestFile: "-"},
+			stdin:   `{"scene":"goblet","configs":[{"size_bytes":100,"line_bytes":128,"ways":2}]}`,
+			wantErr: "configs"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.scale, tc.workers, tc.renderW)
+			req, err := buildRequest(tc.f, strings.NewReader(tc.stdin))
+			if err == nil {
+				err = texcache.ValidateRequest(texcache.NormalizeRequest(req))
+			}
 			if tc.wantErr == "" {
 				if err != nil {
-					t.Fatalf("validateFlags(%d, %d, %d) = %v, want nil", tc.scale, tc.workers, tc.renderW, err)
+					t.Fatalf("buildRequest(%+v) = %v, want nil", tc.f, err)
 				}
 				return
 			}
 			if err == nil {
-				t.Fatalf("validateFlags(%d, %d, %d) = nil, want error naming %q", tc.scale, tc.workers, tc.renderW, tc.wantErr)
+				t.Fatalf("buildRequest(%+v) = nil error, want one naming %q", tc.f, tc.wantErr)
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("error %q does not name %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestBuildRequestMapping spot-checks field mapping details.
+func TestBuildRequestMapping(t *testing.T) {
+	req, err := buildRequest(flags{id: "fig5.2,fig5.7", scale: 4, scenes: "town,guitar", grouped: false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(req.Experiments, "+"); got != "fig5.2+fig5.7" {
+		t.Errorf("Experiments = %q", got)
+	}
+	if got := strings.Join(req.Scenes, "+"); got != "town+guitar" {
+		t.Errorf("Scenes = %q", got)
+	}
+	if req.Scale != 4 {
+		t.Errorf("Scale = %d, want 4", req.Scale)
+	}
+	if req.Sweep != texcache.RequestSweepPerConfig {
+		t.Errorf("Sweep = %q, want per-config", req.Sweep)
+	}
+	all, err := buildRequest(flags{id: "all", scale: 2, grouped: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Experiments) != 0 {
+		t.Errorf("-exp all should leave Experiments empty, got %v", all.Experiments)
+	}
+	if all.Sweep != "" {
+		t.Errorf("grouped default should leave Sweep empty, got %q", all.Sweep)
 	}
 }

@@ -80,6 +80,12 @@ type Options struct {
 	// replay mode. Both modes produce bit-identical experiment output.
 	Sweep    exp.SweepMode
 	sweepSet bool
+	// Traces, when non-nil, is the trace provider installed on every
+	// batch whose Config does not bring its own — the hook through which
+	// a long-running server shares one TraceCache (and its coalesced
+	// renders) across many engines. RenderWorkers and TraceDir are
+	// ignored when it is set.
+	Traces exp.TraceProvider
 }
 
 // Option mutates Options.
@@ -106,6 +112,14 @@ func WithTraceDir(dir string) Option { return func(o *Options) { o.TraceDir = di
 // configuration sweeps in the given mode, overriding Config.Sweep.
 func WithSweepMode(m exp.SweepMode) Option {
 	return func(o *Options) { o.Sweep, o.sweepSet = m, true }
+}
+
+// WithTraces installs a shared trace provider on the engine: every batch
+// run without its own Config.Traces uses it instead of a fresh
+// TraceCache, so renders coalesce across batches (and, in texserve,
+// across client requests).
+func WithTraces(p exp.TraceProvider) Option {
+	return func(o *Options) { o.Traces = p }
 }
 
 // Engine schedules experiment batches.
@@ -143,16 +157,11 @@ func (e *Engine) Run(ctx context.Context, ids []string, cfg exp.Config) (<-chan 
 		return nil, err
 	}
 	if cfg.Traces == nil {
-		tc := NewTraceCache()
-		tc.RenderWorkers = e.opts.RenderWorkers
-		if e.opts.TraceDir != "" {
-			store, err := trace.Open(e.opts.TraceDir)
-			if err != nil {
-				return nil, err
-			}
-			tc.Store = store
+		p, err := e.traces()
+		if err != nil {
+			return nil, err
 		}
-		cfg.Traces = tc
+		cfg.Traces = p
 	}
 	if e.opts.sweepSet {
 		cfg.Sweep = e.opts.Sweep
@@ -222,6 +231,26 @@ func (e *Engine) Run(ctx context.Context, ids []string, cfg exp.Config) (<-chan 
 		obs.Default().Emit("batch.done", "", int64(len(exps)))
 	}()
 	return out, nil
+}
+
+// traces resolves the trace provider a batch uses when its Config does
+// not bring one: the engine's shared provider when installed, otherwise
+// a fresh single-flight TraceCache (with the persistent tier attached
+// when TraceDir is set).
+func (e *Engine) traces() (exp.TraceProvider, error) {
+	if e.opts.Traces != nil {
+		return e.opts.Traces, nil
+	}
+	tc := NewTraceCache()
+	tc.RenderWorkers = e.opts.RenderWorkers
+	if e.opts.TraceDir != "" {
+		store, err := trace.Open(e.opts.TraceDir)
+		if err != nil {
+			return nil, err
+		}
+		tc.Store = store
+	}
+	return tc, nil
 }
 
 // resolve maps IDs to experiments, defaulting to the whole registry.

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"io"
+
+	"texcache/internal/report"
+)
+
+// StreamNDJSON re-serializes a result stream as newline-delimited JSON:
+// each result's recorded report replays through a JSON reporter stamped
+// with the experiment ID, reordered into request (Index) order so the
+// bytes are deterministic whatever the completion order. Both cmd/texsim
+// -json and the texserve response body are this function, which is what
+// makes their output byte-identical for the same request.
+//
+// onResult, when non-nil, runs after each result's lines are written (in
+// index order) — texserve uses it to flush the HTTP stream and append
+// typed error lines, texsim to log failures. StreamNDJSON returns the
+// first write or result error; later results are still drained and
+// written so a mid-batch failure doesn't truncate the stream.
+func StreamNDJSON(w io.Writer, results <-chan Result, onResult func(Result)) error {
+	var firstErr error
+	pending := map[int]Result{}
+	next := 0
+	emit := func(r Result) {
+		if r.Report != nil {
+			jr := report.NewJSON(w)
+			jr.Exp = r.ID
+			r.Report.Replay(jr)
+			if err := jr.Err(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+		if onResult != nil {
+			onResult(r)
+		}
+	}
+	for r := range results {
+		pending[r.Index] = r
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			emit(q)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,114 @@
+// Request-centric entry point: RunRequest executes one api.ExperimentRequest,
+// the single description of a unit of work every binary and the library
+// facade construct. Experiment-kind requests route through the batch
+// scheduler (Run); sweep-kind requests render their (scene, scale,
+// layout, traversal) stream through the same trace provider — so
+// identical sweeps coalesce onto one render — and replay the requested
+// cache configurations against it.
+package engine
+
+import (
+	"context"
+	"time"
+
+	"texcache/internal/api"
+	"texcache/internal/cache"
+	"texcache/internal/exp"
+	"texcache/internal/obs"
+	"texcache/internal/report"
+)
+
+// SweepID is the Result.ID (and report table id) of sweep-kind requests.
+const SweepID = "sweep"
+
+// RunRequest executes req, normalized and validated, and streams results
+// exactly as Run does. The request must already have passed
+// api.Validate; RunRequest re-validates cheaply and fails fast with the
+// typed *api.Error otherwise.
+func (e *Engine) RunRequest(ctx context.Context, req api.ExperimentRequest) (<-chan Result, error) {
+	req = req.Normalized()
+	if err := api.Validate(req); err != nil {
+		return nil, err
+	}
+	if req.Kind() == api.KindSweep {
+		return e.runSweep(ctx, req)
+	}
+	return e.Run(ctx, req.Experiments, req.ExpConfig())
+}
+
+// sweepColumns lays out the sweep result table: one row per requested
+// cache configuration with its classified statistics.
+func sweepColumns() []report.Column {
+	return []report.Column{
+		{Name: "Configuration", Head: "%-36s", Cell: "%-36s"},
+		{Name: "Miss rate", Head: "%10s", Cell: "%9.3f%%"},
+		{Name: "Accesses", Head: "%12s", Cell: "%12d"},
+		{Name: "Misses", Head: "%12s", Cell: "%12d"},
+		{Name: "Cold", Head: "%10s", Cell: "%10d"},
+		{Name: "Capacity", Head: "%10s", Cell: "%10d"},
+		{Name: "Conflict", Head: "%10s", Cell: "%10d"},
+	}
+}
+
+// runSweep renders the request's texel stream through the engine's trace
+// provider and replays the configuration set, emitting one result whose
+// recording is a single classified-statistics table. The provider's
+// single-flight keying is what coalesces identical concurrent sweeps:
+// any number of requests for the same (scene, scale, layout, traversal)
+// cost one render.
+func (e *Engine) runSweep(ctx context.Context, req api.ExperimentRequest) (<-chan Result, error) {
+	cfg := req.ExpConfig()
+	if e.opts.sweepSet {
+		cfg.Sweep = e.opts.Sweep
+	}
+	prov, err := e.traces()
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan Result, 1)
+	go func() {
+		defer close(out)
+		r := Result{Index: 0, ID: SweepID, Title: "custom cache sweep: " + req.Scene}
+		start := time.Now()
+		rec := &report.Recording{}
+		r.Err = sweepInto(ctx, req, cfg, prov, rec)
+		r.Elapsed = time.Since(start)
+		r.Report = rec
+		r.Output = rec.Text()
+		obs.Default().Sub("engine").Timer("sweep_request").Observe(r.Elapsed)
+		out <- r
+	}()
+	return out, nil
+}
+
+// sweepInto does the sweep work: one trace, one (grouped or
+// per-configuration) replay pass, one table.
+func sweepInto(ctx context.Context, req api.ExperimentRequest, cfg exp.Config, prov exp.TraceProvider, rep report.Reporter) error {
+	key := exp.TraceKey{
+		Scene:     req.Scene,
+		Layout:    req.LayoutSpec(),
+		Traversal: req.RasterTraversal(),
+	}
+	str, err := prov.SceneTrace(ctx, key, cfg.EffectiveScale())
+	if err != nil {
+		return err
+	}
+	cfgs := req.CacheConfigs()
+	var stats []cache.Stats
+	if cfg.Sweep == exp.SweepPerConfig {
+		stats, err = cache.SimulateConfigsStream(ctx, str, cfgs)
+	} else {
+		stats, err = cache.SimulateConfigsGroupedStream(ctx, str, cfgs)
+	}
+	if err != nil {
+		return err
+	}
+	rep.Note("scene %s at scale %d, %s layout, %d addresses", req.Scene,
+		cfg.EffectiveScale(), key.Layout.Kind, str.Len())
+	rep.BeginTable(SweepID, sweepColumns())
+	for i, s := range stats {
+		rep.Row(cfgs[i].String(), 100*s.MissRate(), s.Accesses, s.Misses,
+			s.Cold, s.Capacity, s.Conflict)
+	}
+	return nil
+}

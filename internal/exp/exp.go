@@ -249,10 +249,11 @@ func blocked8() texture.LayoutSpec {
 // lineForBlock returns the line size matching a square block in bytes.
 func lineForBlock(blockW int) int { return blockW * blockW * texture.TexelBytes }
 
-// defaultTraversalFor returns the untiled traversal in the named scene's
+// DefaultTraversalFor returns the untiled traversal in the named scene's
 // reported rasterization direction — the static metadata Needs
-// declarations use without building the scene.
-func defaultTraversalFor(name string) raster.Traversal {
+// declarations and the api package's sweep defaults use without building
+// the scene.
+func DefaultTraversalFor(name string) raster.Traversal {
 	if name == "town" {
 		return raster.Traversal{Order: raster.ColumnMajor}
 	}

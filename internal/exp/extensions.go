@@ -29,7 +29,7 @@ func init() {
 			if len(cfg.Scenes) > 0 {
 				name = cfg.Scenes[0]
 			}
-			base := defaultTraversalFor(name)
+			base := DefaultTraversalFor(name)
 			tiled := base
 			tiled.TileW, tiled.TileH = 8, 8
 			return []TraceKey{

@@ -1,0 +1,175 @@
+// Package load is the texserve load-generator core: it drives a fixed
+// number of concurrent clients posting the same ExperimentRequest
+// document at a server and reports completion counts, status-code
+// distribution and latency percentiles. cmd/texload is the CLI wrapper;
+// the texserve saturation benchmark drives it in-process against
+// httptest servers.
+package load
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options parameterizes one load run.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8321".
+	BaseURL string
+	// Clients is the number of concurrent posting clients (default 1).
+	Clients int
+	// Requests is the total request count across all clients (default
+	// Clients).
+	Requests int
+	// Body is the JSON ExperimentRequest document each client posts.
+	Body []byte
+	// Bodies, when non-empty, overrides Body with a rotation: request i
+	// posts Bodies[i % len(Bodies)]. Use it to mix distinct work into
+	// one run (e.g. several trace keys in a saturation burst).
+	Bodies [][]byte
+	// Tenant, when set, is sent as the X-Texcache-Tenant header.
+	Tenant string
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Stats is the outcome of a load run.
+type Stats struct {
+	// Requests is the number attempted.
+	Requests int `json:"requests"`
+	// Completed counts 2xx responses read to EOF.
+	Completed int `json:"completed"`
+	// Rejected counts 429 backpressure responses.
+	Rejected int `json:"rejected"`
+	// Failed counts transport errors and non-2xx, non-429 statuses.
+	Failed int `json:"failed"`
+	// ServerErrors counts 5xx responses (a subset of Failed).
+	ServerErrors int `json:"server_errors"`
+	// Bytes is the total response body volume read.
+	Bytes int64 `json:"bytes"`
+	// Elapsed is the wall-clock span of the whole run.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// P50 and P99 are completion-latency percentiles over successful
+	// requests.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// RPS is Completed divided by Elapsed.
+	RPS float64 `json:"rps"`
+}
+
+// String renders the stats as a one-line human summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d requests: %d completed, %d rejected (429), %d failed (%d 5xx); %.1f req/s, p50 %v, p99 %v, %dB",
+		s.Requests, s.Completed, s.Rejected, s.Failed, s.ServerErrors,
+		s.RPS, s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Bytes)
+}
+
+// Run drives Options.Requests posts through Options.Clients concurrent
+// clients and aggregates the outcome. A cancelled ctx stops issuing new
+// requests; in-flight ones fail with the context error. Run itself only
+// errors on unusable options.
+func Run(ctx context.Context, o Options) (Stats, error) {
+	if o.BaseURL == "" {
+		return Stats{}, errors.New("load: BaseURL required")
+	}
+	if o.Clients < 1 {
+		o.Clients = 1
+	}
+	if o.Requests < 1 {
+		o.Requests = o.Clients
+	}
+	client := o.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := o.BaseURL + "/v1/experiments"
+
+	var (
+		next      atomic.Int64
+		mu        sync.Mutex
+		stats     Stats
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	stats.Requests = o.Requests
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seq := int(next.Add(1))
+				if seq > o.Requests {
+					return
+				}
+				if ctx.Err() != nil {
+					mu.Lock()
+					stats.Failed++
+					mu.Unlock()
+					continue
+				}
+				body := o.Body
+				if len(o.Bodies) > 0 {
+					body = o.Bodies[(seq-1)%len(o.Bodies)]
+				}
+				status, n, d, err := post(ctx, client, url, body, o.Tenant)
+				mu.Lock()
+				stats.Bytes += n
+				switch {
+				case err != nil:
+					stats.Failed++
+				case status == http.StatusTooManyRequests:
+					stats.Rejected++
+				case status >= 500:
+					stats.Failed++
+					stats.ServerErrors++
+				case status >= 200 && status < 300:
+					stats.Completed++
+					latencies = append(latencies, d)
+				default:
+					stats.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		stats.P50 = latencies[len(latencies)*50/100]
+		stats.P99 = latencies[min(len(latencies)-1, len(latencies)*99/100)]
+	}
+	if stats.Elapsed > 0 {
+		stats.RPS = float64(stats.Completed) / stats.Elapsed.Seconds()
+	}
+	return stats, nil
+}
+
+// post issues one request and reads the body to EOF (the full NDJSON
+// stream), returning status, bytes read and latency.
+func post(ctx context.Context, client *http.Client, url string, body []byte, tenant string) (status int, n int64, d time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Texcache-Tenant", tenant)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, time.Since(start), err
+	}
+	defer resp.Body.Close()
+	n, err = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, n, time.Since(start), err
+}

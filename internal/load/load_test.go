@@ -1,0 +1,81 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunClassification drives the generator at a scripted server and
+// checks every response class lands in the right counter.
+func TestRunClassification(t *testing.T) {
+	var n atomic.Int64
+	var sawTenant atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/experiments" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		if r.Header.Get("X-Texcache-Tenant") == "bench" {
+			sawTenant.Store(true)
+		}
+		switch n.Add(1) {
+		case 1:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case 2:
+			http.Error(w, "later", http.StatusTooManyRequests)
+		default:
+			w.Write([]byte(`{"exp":"x"}` + "\n"))
+		}
+	}))
+	defer ts.Close()
+
+	stats, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Clients:  1, // serial so the scripted status order holds
+		Requests: 6,
+		Body:     []byte(`{}`),
+		Tenant:   "bench",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 6 || stats.Completed != 4 || stats.Rejected != 1 ||
+		stats.Failed != 1 || stats.ServerErrors != 1 {
+		t.Errorf("stats = %+v, want 6 requests: 4 completed, 1 rejected, 1 failed (1 5xx)", stats)
+	}
+	if !sawTenant.Load() {
+		t.Error("tenant header not sent")
+	}
+	if stats.RPS <= 0 || stats.P50 <= 0 || stats.P99 < stats.P50 {
+		t.Errorf("latency stats not populated: %+v", stats)
+	}
+	if stats.Bytes == 0 {
+		t.Error("bytes not counted")
+	}
+	if stats.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestRunOptionDefaults(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Error("missing BaseURL should error")
+	}
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+	}))
+	defer ts.Close()
+	stats, err := Run(context.Background(), Options{BaseURL: ts.URL, Clients: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("defaulted Requests issued %d posts, want one per client (3)", got)
+	}
+	if stats.Completed != 3 {
+		t.Errorf("Completed = %d, want 3", stats.Completed)
+	}
+}

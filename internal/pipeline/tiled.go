@@ -66,6 +66,45 @@ type tileStream struct {
 // Access implements cache.Sink.
 func (ts *tileStream) Access(addr uint64) { ts.addrs = append(ts.addrs, addr) }
 
+// tilePools recycles tile streams between frames, bucketed by tile
+// pixel capacity (full tiles and the narrower edge tiles carry very
+// different address volumes, so mixing them would bleed large buffers
+// into small tiles and vice versa). Each bucket is a sync.Pool of
+// *tileStream whose slices keep their grown capacity across frames —
+// the per-frame allocation churn of the parallel render path was its
+// biggest regression against the serial scan.
+var tilePools sync.Map // tile pixel capacity (int) → *sync.Pool
+
+// getTileStream returns a recycled (or fresh) stream for the rect,
+// bound to the given triangle list.
+func getTileStream(rect raster.Rect, tris []int) *tileStream {
+	capPx := (rect.X1 - rect.X0 + 1) * (rect.Y1 - rect.Y0 + 1)
+	p, _ := tilePools.LoadOrStore(capPx, &sync.Pool{})
+	ts, _ := p.(*sync.Pool).Get().(*tileStream)
+	if ts == nil {
+		ts = &tileStream{}
+	}
+	ts.rect = rect
+	ts.tris = tris
+	return ts
+}
+
+// putTileStream truncates the stream's buffers (keeping their capacity)
+// and returns it to its capacity bucket. The caller must not touch the
+// stream afterwards; in particular the address slices handed to the
+// merge are dead once this runs.
+func putTileStream(ts *tileStream) {
+	capPx := (ts.rect.X1 - ts.rect.X0 + 1) * (ts.rect.Y1 - ts.rect.Y0 + 1)
+	ts.tris = nil
+	ts.addrs = ts.addrs[:0]
+	ts.frags = ts.frags[:0]
+	ts.spans = ts.spans[:0]
+	ts.shaded, ts.textured, ts.fetches = 0, 0, 0
+	if p, ok := tilePools.Load(capPx); ok {
+		p.(*sync.Pool).Put(ts)
+	}
+}
+
 // parallelEligible reports whether the configured frame may take the
 // tile-parallel path. OnAccess and Counters observe the stream while it
 // is produced, in order, so frames using them keep the serial path; the
@@ -122,7 +161,7 @@ func (r *Renderer) Finish() {
 	streams := make([]*tileStream, 0, len(bins))
 	for i, bin := range bins {
 		if len(bin) > 0 {
-			streams = append(streams, &tileStream{rect: grid.Rect(i), tris: bin})
+			streams = append(streams, getTileStream(grid.Rect(i), bin))
 		}
 	}
 	if len(streams) == 0 {
@@ -168,6 +207,9 @@ func (r *Renderer) Finish() {
 
 	if r.Sink != nil {
 		r.mergeStreams(tris, streams)
+	}
+	for _, ts := range streams {
+		putTileStream(ts)
 	}
 }
 
