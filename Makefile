@@ -71,19 +71,22 @@ cover:
 # the TraceEncode/TraceDecode pair and the TraceStore cold/warm pair
 # track the compact trace codec and the persistent store.
 bench:
-	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore' \
+	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore|BenchmarkArch' \
 		-benchmem -count 1 . | go run ./cmd/benchjson -o BENCH_engine.json
 
 # bench-check gates the performance claims: the grouped simulator must
 # beat per-configuration serial simulation by at least 2x on the
 # acceptance sweep, a warm trace store must run the acceptance batch at
-# least 2x faster than the cold run that populated it, and a warm
-# texserve must absorb the saturation burst at least 2x faster than a
-# cold one (renders coalesced to the distinct-key count either way).
-# The gates are plain tests (skipped under -short and under -race) so
-# they run anywhere the suite does.
+# least 2x faster than the cold run that populated it, a warm texserve
+# must absorb the saturation burst at least 2x faster than a cold one
+# (renders coalesced to the distinct-key count either way), and the
+# prefetching texture-unit pipeline must beat the blocking baseline by
+# at least 1.5x in simulated cycles at 100 cycles of memory latency on
+# every benchmark scene. The timing gates are plain tests (skipped
+# under -short and under -race); the cycle gate is exact and runs
+# everywhere.
 bench-check:
-	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup' .
+	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup|TestArchLatencyTolerance' .
 	go test -count=1 -run 'TestServerWarmSpeedup' ./cmd/texserve
 
 # bench-server reruns the texserve saturation gate and records its
@@ -110,4 +113,6 @@ serve-smoke:
 	addr=$$(cat "$$tmp/addr") ; \
 	"$$tmp/texload" -url "http://$$addr" -clients 4 -n 12 -tenant smoke \
 		-exp fig5.2 -scenes goblet -scale 8 || { cat "$$tmp/server.log"; exit 1 ; } ; \
+	"$$tmp/texload" -url "http://$$addr" -clients 2 -n 4 -tenant smoke-arch \
+		-scene goblet -arch both -scale 8 || { cat "$$tmp/server.log"; exit 1 ; } ; \
 	echo "serve-smoke ok"

@@ -349,3 +349,31 @@ func BenchmarkSamplerTrilinear(b *testing.B) {
 		r.DrawMesh(mesh, texcache.Identity(), cam)
 	}
 }
+
+// --- Architecture model benchmarks ----------------------------------
+
+// benchArch times the cycle recurrence of one texture-unit machine over
+// the Goblet trace. The timeline capture (the cache replay) is paid
+// once outside the loop, exactly as a latency or FIFO-depth sweep does.
+func benchArch(b *testing.B, p texcache.ArchPipeline) {
+	tr := gobletTrace(b)
+	tl, err := texcache.NewArchTimeline(
+		texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2}, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := texcache.DefaultArch(tl.CacheConfig(), p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tl.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArchBlocking times the blocking baseline's cycle loop.
+func BenchmarkArchBlocking(b *testing.B) { benchArch(b, texcache.ArchBlocking) }
+
+// BenchmarkArchPrefetch times the prefetching pipeline's cycle loop.
+func BenchmarkArchPrefetch(b *testing.B) { benchArch(b, texcache.ArchPrefetch) }

@@ -10,9 +10,13 @@
 //	texload -url http://127.0.0.1:8321 -clients 4 -n 16 \
 //	    -scene goblet -configs 32768:128:2,16384:64:1
 //	texload -url http://127.0.0.1:8321 -request sweep.json -tenant bench
+//	texload -url http://127.0.0.1:8321 -scene goblet -arch both -n 4
 //
 // -configs takes SIZE:LINE:WAYS[:POLICY] triples (bytes; policy lru,
 // fifo or random) and makes the request a custom sweep over -scene.
+// -arch instead posts a cycle-level architecture comparison (blocking,
+// prefetch or both) over -scene; -configs optionally overrides the
+// cache design point.
 // The exit status encodes the verdict scripts care about: 0 when at
 // least one request completed and the server returned no 5xx, 1
 // otherwise — `make serve-smoke` is exactly that check.
@@ -65,7 +69,7 @@ func parseConfigs(s string) ([]texcache.RequestCacheConfig, error) {
 }
 
 // buildRequest assembles the request body from flags or a wire file.
-func buildRequest(reqFile, exps, scenes, scene, configs string, scale, renderW int, tenant string) ([]byte, error) {
+func buildRequest(reqFile, exps, scenes, scene, configs, arch string, scale, renderW int, tenant string) ([]byte, error) {
 	if reqFile != "" {
 		return os.ReadFile(reqFile)
 	}
@@ -78,11 +82,16 @@ func buildRequest(reqFile, exps, scenes, scene, configs string, scale, renderW i
 	}
 	if scene != "" {
 		req.Scene = scene
-		cfgs, err := parseConfigs(configs)
-		if err != nil {
-			return nil, err
+		if arch == "" || configs != "" {
+			cfgs, err := parseConfigs(configs)
+			if err != nil {
+				return nil, err
+			}
+			req.Configs = cfgs
 		}
-		req.Configs = cfgs
+	}
+	if arch != "" {
+		req.Architecture = &texcache.RequestArchitecture{Pipeline: arch}
 	}
 	if err := texcache.ValidateRequest(texcache.NormalizeRequest(req)); err != nil {
 		return nil, err
@@ -99,6 +108,7 @@ func run() int {
 	scenes := flag.String("scenes", "", "scene subset for the posted request")
 	scene := flag.String("scene", "", "sweep scene (with -configs)")
 	configs := flag.String("configs", "", "sweep cache configs, SIZE:LINE:WAYS[:POLICY],...")
+	arch := flag.String("arch", "", "architecture pipelines (blocking, prefetch or both) to compare over -scene instead of a sweep")
 	scale := flag.Int("scale", 8, "resolution divisor for the posted request")
 	renderW := flag.Int("render-workers", 0, "render workers requested per render")
 	reqFile := flag.String("request", "", "post this wire-form JSON request file instead of building one from flags")
@@ -110,7 +120,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "texload: -configs needs -scene")
 		return 2
 	}
-	body, err := buildRequest(*reqFile, *exps, *scenes, *scene, *configs, *scale, *renderW, *tenant)
+	body, err := buildRequest(*reqFile, *exps, *scenes, *scene, *configs, *arch, *scale, *renderW, *tenant)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "texload:", err)
 		return 2

@@ -76,6 +76,7 @@ func TestServerNDJSONByteIdentity(t *testing.T) {
 	}{
 		{"sweep", e2eSweepBody(), "sweep.ndjson"},
 		{"experiment", `{"experiments":["fig5.2"],"scenes":["goblet"],"scale":8}`, "experiment.ndjson"},
+		{"architecture", `{"scene":"goblet","scale":8,"architecture":{"pipeline":"both","fill_latency":100}}`, "architecture.ndjson"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			local := texsimNDJSON(t, tc.body)

@@ -22,6 +22,13 @@
 //	texsim -exp fig5.7 -grouped=false     # per-configuration sweep replay
 //	texsim -exp all -trace-dir .traces    # persist renders across runs
 //	texsim -request sweep.json -json      # run a wire-form request file
+//	texsim -arch both -scenes goblet -scale 4   # cycle-level pipelines
+//
+// -arch compares the cycle-level texture-unit architectures (the Igehy
+// et al. 1998 prefetching pipeline and/or the blocking baseline) over a
+// single scene named by -scenes, instead of running registered
+// experiments; -arch-fifo and -arch-latency override the paper-default
+// fragment FIFO depth and memory fill latency (0 keeps the defaults).
 //
 // -request reads a JSON texcache.ExperimentRequest from the given file
 // ("-" for stdin) — the exact body texserve accepts — so any request a
@@ -88,6 +95,9 @@ type flags struct {
 	renderW     int
 	grouped     bool
 	requestFile string
+	arch        string
+	archFIFO    int
+	archLatency int
 }
 
 // buildRequest maps the experiment-selection flags onto the shared
@@ -96,8 +106,8 @@ type flags struct {
 // validation happens in the shared api validator, not here.
 func buildRequest(f flags, stdin io.Reader) (texcache.ExperimentRequest, error) {
 	if f.requestFile != "" {
-		if f.id != "" || f.scenes != "" {
-			return texcache.ExperimentRequest{}, errors.New("-request replaces -exp/-scenes; drop them")
+		if f.id != "" || f.scenes != "" || f.arch != "" {
+			return texcache.ExperimentRequest{}, errors.New("-request replaces -exp/-scenes/-arch; drop them")
 		}
 		r := stdin
 		if f.requestFile != "-" {
@@ -119,6 +129,21 @@ func buildRequest(f flags, stdin io.Reader) (texcache.ExperimentRequest, error) 
 		Scale:         f.scale,
 		Workers:       f.workers,
 		RenderWorkers: f.renderW,
+	}
+	if f.arch != "" {
+		if f.id != "" {
+			return texcache.ExperimentRequest{}, errors.New("-arch replaces -exp; drop one")
+		}
+		if strings.Contains(f.scenes, ",") {
+			return texcache.ExperimentRequest{}, errors.New("-arch compares pipelines over one scene; give -scenes a single name")
+		}
+		req.Scene = f.scenes
+		req.Architecture = &texcache.RequestArchitecture{
+			Pipeline:     f.arch,
+			FragmentFIFO: f.archFIFO,
+			FillLatency:  f.archLatency,
+		}
+		return req, nil
 	}
 	if f.id != "all" {
 		req.Experiments = strings.Split(f.id, ",")
@@ -145,17 +170,20 @@ func run() int {
 	progress := flag.Bool("progress", false, "print per-experiment completion lines on stderr")
 	flag.BoolVar(&f.grouped, "grouped", true, "answer each sweep's LRU configurations from one grouped trace walk (false = one cache per configuration; output is identical)")
 	flag.StringVar(&f.requestFile, "request", "", "run a JSON ExperimentRequest from this file ('-' = stdin), the texserve wire form")
+	flag.StringVar(&f.arch, "arch", "", "compare cycle-level texture-unit pipelines (blocking, prefetch or both) over the single -scenes scene")
+	flag.IntVar(&f.archFIFO, "arch-fifo", 0, "fragment FIFO depth in fragments for -arch (0 = the paper's 64)")
+	flag.IntVar(&f.archLatency, "arch-latency", 0, "memory fill latency in cycles for -arch (0 = the paper's 100)")
 	traceDir := flag.String("trace-dir", "", "persist rendered traces in this directory and reuse them across runs (output is identical)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	if *list || (f.id == "" && f.requestFile == "") {
+	if *list || (f.id == "" && f.requestFile == "" && f.arch == "") {
 		fmt.Println("experiments:")
 		for _, eid := range texcache.ExperimentIDs() {
 			fmt.Printf("  %s\n", eid)
 		}
-		if f.id == "" && f.requestFile == "" && !*list {
+		if f.id == "" && f.requestFile == "" && f.arch == "" && !*list {
 			return 2
 		}
 		return 0

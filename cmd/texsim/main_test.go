@@ -28,6 +28,13 @@ func TestBuildRequest(t *testing.T) {
 		{name: "unknown experiment", f: flags{id: "bogus", scale: 2, grouped: true}, wantErr: "unknown experiment"},
 		{name: "unknown scene", f: flags{id: "all", scale: 2, scenes: "nowhere", grouped: true}, wantErr: "unknown scene"},
 		{name: "request file plus exp", f: flags{id: "all", scale: 2, grouped: true, requestFile: "-"}, wantErr: "-request"},
+		{name: "request file plus arch", f: flags{arch: "both", scale: 2, grouped: true, requestFile: "-"}, wantErr: "-request"},
+		{name: "arch request", f: flags{arch: "both", scenes: "goblet", scale: 2, grouped: true}},
+		{name: "arch plus exp", f: flags{id: "all", arch: "both", scenes: "goblet", scale: 2, grouped: true}, wantErr: "-arch"},
+		{name: "arch multi scene", f: flags{arch: "both", scenes: "town,guitar", scale: 2, grouped: true}, wantErr: "single"},
+		{name: "arch no scene", f: flags{arch: "both", scale: 2, grouped: true}, wantErr: "scene"},
+		{name: "arch bad pipeline", f: flags{arch: "warp", scenes: "goblet", scale: 2, grouped: true}, wantErr: "architecture.pipeline"},
+		{name: "arch bad fifo", f: flags{arch: "both", scenes: "goblet", archFIFO: -1, scale: 2, grouped: true}, wantErr: "architecture.fragment_fifo"},
 		{name: "request from stdin", f: flags{scale: 2, grouped: true, requestFile: "-"},
 			stdin: `{"scene":"goblet","configs":[{"size_bytes":32768,"line_bytes":128,"ways":2}]}`},
 		{name: "bad request json", f: flags{scale: 2, grouped: true, requestFile: "-"},
@@ -75,6 +82,17 @@ func TestBuildRequestMapping(t *testing.T) {
 	}
 	if req.Sweep != texcache.RequestSweepPerConfig {
 		t.Errorf("Sweep = %q, want per-config", req.Sweep)
+	}
+	ar, err := buildRequest(flags{arch: "prefetch", scenes: "goblet", archFIFO: 16, archLatency: 200, scale: 4, grouped: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Scene != "goblet" || len(ar.Scenes) != 0 {
+		t.Errorf("arch request scene mapping: Scene=%q Scenes=%v", ar.Scene, ar.Scenes)
+	}
+	if ar.Architecture == nil || ar.Architecture.Pipeline != "prefetch" ||
+		ar.Architecture.FragmentFIFO != 16 || ar.Architecture.FillLatency != 200 {
+		t.Errorf("arch request block mapping: %+v", ar.Architecture)
 	}
 	all, err := buildRequest(flags{id: "all", scale: 2, grouped: true}, nil)
 	if err != nil {

@@ -16,8 +16,10 @@ import (
 	"net/http"
 	"strings"
 
+	"texcache/internal/arch"
 	"texcache/internal/cache"
 	"texcache/internal/exp"
+	"texcache/internal/prefetch"
 	"texcache/internal/raster"
 	"texcache/internal/scenes"
 	"texcache/internal/texture"
@@ -43,7 +45,7 @@ const (
 const DefaultScale = 2
 
 // ExperimentRequest is the single description of a unit of simulation
-// work. It comes in two kinds, discriminated by Kind():
+// work. It comes in three kinds, discriminated by Kind():
 //
 //   - KindExperiments regenerates registered paper experiments:
 //     Experiments names the IDs (empty = all), Scenes optionally
@@ -52,6 +54,10 @@ const DefaultScale = 2
 //     stream — coalesced with every other request for the same key —
 //     and replays Configs against it, answering a custom cache design
 //     question without a registered experiment.
+//   - KindArchitecture runs that same texel stream through the
+//     cycle-level texture-unit pipelines instead: Architecture selects
+//     blocking and/or prefetching organizations and their timing, and
+//     Configs optionally overrides the cache design point.
 //
 // The zero value of every optional field means "the default": Scale 0
 // is DefaultScale, a nil Layout is the paper's 8x8 blocked
@@ -80,8 +86,15 @@ type ExperimentRequest struct {
 	// Traversal selects the screen scan pattern of a sweep request; nil
 	// means the scene's reported rasterization direction.
 	Traversal *Traversal `json:"traversal,omitempty"`
-	// Configs are the cache organizations a sweep request replays.
+	// Configs are the cache organizations a sweep request replays; an
+	// architecture request may also set them to override its default
+	// design point.
 	Configs []CacheConfig `json:"configs,omitempty"`
+
+	// Architecture, when present, makes the request an architecture
+	// comparison: the scene's texel stream runs through the cycle-level
+	// texture-unit pipelines instead of plain cache replay.
+	Architecture *Architecture `json:"architecture,omitempty"`
 
 	// Scale divides screen and texture resolution; 1 is the paper's full
 	// size, 0 means DefaultScale.
@@ -98,7 +111,7 @@ type ExperimentRequest struct {
 	RenderWorkers int `json:"render_workers,omitempty"`
 }
 
-// RequestKind discriminates the two shapes of ExperimentRequest.
+// RequestKind discriminates the three shapes of ExperimentRequest.
 type RequestKind int
 
 const (
@@ -106,19 +119,27 @@ const (
 	KindExperiments RequestKind = iota
 	// KindSweep renders one scene trace and replays a configuration set.
 	KindSweep
+	// KindArchitecture runs one scene trace through the cycle-level
+	// texture-unit pipelines (blocking vs prefetching).
+	KindArchitecture
 )
 
-// Kind reports which shape the request has: any sweep-only field makes
-// it a sweep.
+// Kind reports which shape the request has: an Architecture block makes
+// it an architecture comparison, any other sweep-only field a sweep.
 func (r ExperimentRequest) Kind() RequestKind {
+	if r.Architecture != nil {
+		return KindArchitecture
+	}
 	if r.Scene != "" || len(r.Configs) > 0 || r.Layout != nil || r.Traversal != nil {
 		return KindSweep
 	}
 	return KindExperiments
 }
 
-// Normalized returns a copy with version and scale defaults filled in:
-// V 0 becomes Version, Scale 0 becomes DefaultScale. Explicitly invalid
+// Normalized returns a copy with version and scale defaults filled in —
+// V 0 becomes Version, Scale 0 becomes DefaultScale — and, for an
+// architecture request, the Architecture block's zero fields replaced
+// with the paper-point machine (Normalized below). Explicitly invalid
 // values (negative scale, bad names) are left for Validate to reject.
 func (r ExperimentRequest) Normalized() ExperimentRequest {
 	if r.V == 0 {
@@ -126,6 +147,10 @@ func (r ExperimentRequest) Normalized() ExperimentRequest {
 	}
 	if r.Scale == 0 {
 		r.Scale = DefaultScale
+	}
+	if r.Architecture != nil {
+		a := r.Architecture.Normalized()
+		r.Architecture = &a
 	}
 	return r
 }
@@ -209,6 +234,147 @@ func (t Traversal) Raster() (raster.Traversal, error) {
 		return raster.Traversal{}, fmt.Errorf("traversal order %q: want horizontal, vertical or hilbert", t.Order)
 	}
 	return raster.Traversal{Order: order, TileW: t.TileW, TileH: t.TileH}, nil
+}
+
+// Architecture pipeline selections, the wire form of arch.Pipeline plus
+// the "both" comparison default.
+const (
+	// PipelineBlocking runs only the blocking baseline.
+	PipelineBlocking = "blocking"
+	// PipelinePrefetch runs only the prefetching pipeline.
+	PipelinePrefetch = "prefetch"
+	// PipelineBoth runs both organizations over one shared timeline; the
+	// default when the field is empty.
+	PipelineBoth = "both"
+)
+
+// Architecture is the wire form of the cycle-level texture-unit
+// comparison: which pipeline organizations to run and their timing
+// parameters. Every zero field means the paper-point default
+// (arch.Default); Normalized makes the defaulting explicit on the wire.
+type Architecture struct {
+	// Pipeline is "blocking", "prefetch" or "both"; empty means both.
+	Pipeline string `json:"pipeline,omitempty"`
+	// FragmentFIFO is the fragment queue depth in fragments (0 = the
+	// paper point, 64). To model a no-FIFO prefetch machine explicitly,
+	// select the blocking pipeline instead — its timing is identical.
+	FragmentFIFO int `json:"fragment_fifo,omitempty"`
+	// RequestFIFO bounds outstanding fill requests (0 = 32).
+	RequestFIFO int `json:"request_fifo,omitempty"`
+	// ReorderBuffer bounds fills awaiting consumption (0 = 32).
+	ReorderBuffer int `json:"reorder_buffer,omitempty"`
+	// ResultFIFO is the output queue depth in fragments (0 = 8).
+	ResultFIFO int `json:"result_fifo,omitempty"`
+	// TexelsPerCycle is the cache read rate (0 = 4).
+	TexelsPerCycle int `json:"texels_per_cycle,omitempty"`
+	// TexelsPerFragment is the filter cost (0 = 8, trilinear).
+	TexelsPerFragment int `json:"texels_per_fragment,omitempty"`
+	// FillLatency is the fill round-trip start in cycles (0 = 100).
+	FillLatency int `json:"fill_latency,omitempty"`
+	// FillOccupancy is the line transfer time in cycles (0 = 4).
+	FillOccupancy int `json:"fill_occupancy,omitempty"`
+}
+
+// Normalized returns a copy with every zero field replaced by the
+// paper-point default, so a served request and its echo agree on the
+// machine that actually ran.
+func (a Architecture) Normalized() Architecture {
+	if a.Pipeline == "" {
+		a.Pipeline = PipelineBoth
+	}
+	if a.FragmentFIFO == 0 {
+		a.FragmentFIFO = arch.DefaultFragmentFIFO
+	}
+	if a.RequestFIFO == 0 {
+		a.RequestFIFO = arch.DefaultRequestFIFO
+	}
+	if a.ReorderBuffer == 0 {
+		a.ReorderBuffer = arch.DefaultReorderBuffer
+	}
+	if a.ResultFIFO == 0 {
+		a.ResultFIFO = arch.DefaultResultFIFO
+	}
+	if a.TexelsPerCycle == 0 {
+		a.TexelsPerCycle = arch.DefaultTexelsPerCycle
+	}
+	if a.TexelsPerFragment == 0 {
+		a.TexelsPerFragment = arch.DefaultTexelsPerFragment
+	}
+	if a.FillLatency == 0 {
+		a.FillLatency = arch.DefaultFillLatency
+	}
+	if a.FillOccupancy == 0 {
+		a.FillOccupancy = arch.DefaultFillOccupancy
+	}
+	return a
+}
+
+// pipelines resolves the wire pipeline selection onto the arch enum.
+func (a Architecture) pipelines() ([]arch.Pipeline, error) {
+	switch a.Pipeline {
+	case "", PipelineBoth:
+		return []arch.Pipeline{arch.Blocking, arch.Prefetch}, nil
+	case PipelineBlocking:
+		return []arch.Pipeline{arch.Blocking}, nil
+	case PipelinePrefetch:
+		return []arch.Pipeline{arch.Prefetch}, nil
+	default:
+		return nil, fmt.Errorf("pipeline %q: want %q, %q or %q", a.Pipeline,
+			PipelineBlocking, PipelinePrefetch, PipelineBoth)
+	}
+}
+
+// archConfig assembles the arch configuration for one cache design
+// point and pipeline. Call only after Validate.
+func (a Architecture) archConfig(c cache.Config, p arch.Pipeline) arch.Config {
+	a = a.Normalized()
+	return arch.Config{
+		Cache:             c,
+		Pipeline:          p,
+		FragmentFIFO:      a.FragmentFIFO,
+		RequestFIFO:       a.RequestFIFO,
+		ReorderBuffer:     a.ReorderBuffer,
+		ResultFIFO:        a.ResultFIFO,
+		TexelsPerCycle:    a.TexelsPerCycle,
+		TexelsPerFragment: a.TexelsPerFragment,
+		FillLatency:       a.FillLatency,
+		FillOccupancy:     a.FillOccupancy,
+	}
+}
+
+// DefaultArchCache is the cache design point an architecture request
+// gets when it names no Configs: the paper's 32KB 2-way 128B-line
+// texture cache.
+func DefaultArchCache() cache.Config {
+	return cache.Config{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2}
+}
+
+// ArchCacheConfigs resolves the cache design points of an architecture
+// request: Configs when given, the paper point otherwise. Call only
+// after Validate.
+func (r ExperimentRequest) ArchCacheConfigs() []cache.Config {
+	if len(r.Configs) == 0 {
+		return []cache.Config{DefaultArchCache()}
+	}
+	return r.CacheConfigs()
+}
+
+// ArchConfigs resolves the full machine list of an architecture
+// request: the cross product of its cache design points and selected
+// pipelines, in report order (configs outer, pipelines inner). Call
+// only after Validate.
+func (r ExperimentRequest) ArchConfigs() []arch.Config {
+	if r.Architecture == nil {
+		return nil
+	}
+	pipes, _ := r.Architecture.pipelines()
+	var out []arch.Config
+	for _, c := range r.ArchCacheConfigs() {
+		for _, p := range pipes {
+			out = append(out, r.Architecture.archConfig(c, p))
+		}
+	}
+	return out
 }
 
 // CacheConfig is the wire form of cache.Config.
@@ -369,12 +535,21 @@ func WrapError(err error) *Error {
 	var (
 		ue *exp.UnknownExperimentError
 		se *scenes.UnknownSceneError
+		ac *arch.ConfigError
+		pc *prefetch.ConfigError
+		cc *cache.ConfigError
 	)
 	switch {
 	case errors.As(err, &ue):
 		return &Error{V: Version, Code: CodeUnknownExperiment, Field: "experiments", Message: err.Error(), cause: err}
 	case errors.As(err, &se):
 		return &Error{V: Version, Code: CodeUnknownScene, Field: "scene", Message: err.Error(), cause: err}
+	case errors.As(err, &ac):
+		return &Error{V: Version, Code: CodeBadRequest, Field: "architecture." + ac.Field, Message: err.Error(), cause: err}
+	case errors.As(err, &pc):
+		return &Error{V: Version, Code: CodeBadRequest, Field: pc.Field, Message: err.Error(), cause: err}
+	case errors.As(err, &cc):
+		return &Error{V: Version, Code: CodeBadRequest, Field: "configs", Message: err.Error(), cause: err}
 	default:
 		return &Error{V: Version, Code: CodeInternal, Message: err.Error(), cause: err}
 	}
@@ -408,7 +583,10 @@ func Validate(r ExperimentRequest) error {
 			return err
 		}
 	}
-	if r.Kind() == KindSweep {
+	switch r.Kind() {
+	case KindArchitecture:
+		return validateArchitecture(r)
+	case KindSweep:
 		return validateSweep(r)
 	}
 	for _, id := range r.Experiments {
@@ -456,6 +634,62 @@ func validateSweep(r ExperimentRequest) error {
 		}
 		if err := cfg.Validate(); err != nil {
 			return badRequest(fmt.Sprintf("configs[%d]", i), "%v", err)
+		}
+	}
+	return nil
+}
+
+// validateArchitecture checks an architecture request: the shared
+// scene/layout/traversal/configs rules of a sweep (configs optional —
+// the paper design point stands in), plus the Architecture block
+// itself, whose field errors surface as "architecture.<field>".
+func validateArchitecture(r ExperimentRequest) error {
+	if len(r.Experiments) > 0 {
+		return badRequest("experiments", "experiments and architecture requests are mutually exclusive")
+	}
+	if r.Scene == "" {
+		return badRequest("scene", "architecture request needs a scene (one of %s)", strings.Join(scenes.Names(), ", "))
+	}
+	if err := validScene(r.Scene); err != nil {
+		return err
+	}
+	if r.Layout != nil {
+		spec, err := r.Layout.Spec()
+		if err != nil {
+			return badRequest("layout", "%v", err)
+		}
+		if err := spec.Validate(); err != nil {
+			return badRequest("layout", "%v", err)
+		}
+	}
+	if r.Traversal != nil {
+		if _, err := r.Traversal.Raster(); err != nil {
+			return badRequest("traversal", "%v", err)
+		}
+	}
+	for i, wire := range r.Configs {
+		cfg, err := wire.Cache()
+		if err != nil {
+			return badRequest(fmt.Sprintf("configs[%d]", i), "%v", err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return badRequest(fmt.Sprintf("configs[%d]", i), "%v", err)
+		}
+	}
+	a := *r.Architecture
+	if _, err := a.pipelines(); err != nil {
+		return badRequest("architecture.pipeline", "%v", err)
+	}
+	// One arch.Validate per cache design point covers every machine the
+	// request will run; the typed field comes back out on the wire as
+	// "architecture.<field>".
+	for _, c := range r.ArchCacheConfigs() {
+		if err := a.archConfig(c, arch.Prefetch).Validate(); err != nil {
+			var ce *arch.ConfigError
+			if errors.As(err, &ce) {
+				return badRequest("architecture."+ce.Field, "%s", ce.Reason)
+			}
+			return badRequest("architecture", "%v", err)
 		}
 	}
 	return nil

@@ -16,7 +16,7 @@ var testCfg = Config{Scale: 8}
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"banks", "compress", "dram", "fig5.2", "fig5.4", "fig5.5",
-		"fig5.6", "fig5.7", "fig5.7nb", "fig6.2", "fig6.4", "hilbert",
+		"fig5.6", "fig5.7", "fig5.7nb", "fig6.2", "fig6.4", "hilbert", "igehy",
 		"interframe", "latency", "locality", "parallel", "prefetch",
 		"replacement", "runlength", "sectored", "table2.1", "table4.1",
 		"table7.1", "williams", "worstcase",
@@ -217,6 +217,12 @@ func TestMemoryExperimentOutputs(t *testing.T) {
 	out = runOne(t, "interframe", Config{Scale: 8, Scenes: []string{"goblet"}})
 	if !strings.Contains(out, "footprint") || !strings.Contains(out, "->") {
 		t.Errorf("interframe malformed:\n%s", out)
+	}
+	out = runOne(t, "igehy", Config{Scale: 8, Scenes: []string{"goblet"}})
+	for _, want := range []string{"blocking", "fifo=64", "lat=400", "zero-latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("igehy missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -54,19 +54,50 @@ func Default(c cache.Config, fifoDepth int) Config {
 	}
 }
 
-// Validate reports whether the configuration is usable.
+// ConfigError reports a rejected prefetch configuration; Validate (and
+// Simulate) return errors of this type, so callers can distinguish bad
+// input from simulation failures with errors.As. Field uses wire-style
+// names ("fifo_depth", "fill_latency", ...), matching the
+// cache.ConfigError convention.
+type ConfigError struct {
+	// Config is the rejected configuration.
+	Config Config
+	// Field names the parameter at fault, in wire form.
+	Field string
+	// Reason explains what was wrong with it.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "prefetch: invalid config: " + e.Field + ": " + e.Reason
+}
+
+// errf builds a *ConfigError for the configuration.
+func (c Config) errf(field, format string, args ...any) *ConfigError {
+	return &ConfigError{Config: c, Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate reports whether the configuration is usable. A non-nil
+// result is a *ConfigError naming the field, except for cache problems,
+// which pass through as the cache package's own *cache.ConfigError.
 func (c Config) Validate() error {
 	if err := c.Cache.Validate(); err != nil {
 		return err
 	}
 	if c.FIFODepth < 0 {
-		return fmt.Errorf("prefetch: negative FIFO depth %d", c.FIFODepth)
+		return c.errf("fifo_depth", "%d: must be >= 0 (0 stalls on every miss)", c.FIFODepth)
 	}
-	if c.TexelsPerCycle <= 0 || c.TexelsPerFragment <= 0 {
-		return fmt.Errorf("prefetch: non-positive rate parameters: %+v", c)
+	if c.TexelsPerCycle <= 0 {
+		return c.errf("texels_per_cycle", "%d: must be >= 1", c.TexelsPerCycle)
 	}
-	if c.FillLatency < 0 || c.FillOccupancy <= 0 {
-		return fmt.Errorf("prefetch: bad fill timing: %+v", c)
+	if c.TexelsPerFragment <= 0 {
+		return c.errf("texels_per_fragment", "%d: must be >= 1", c.TexelsPerFragment)
+	}
+	if c.FillLatency < 0 {
+		return c.errf("fill_latency", "%d: must be >= 0", c.FillLatency)
+	}
+	if c.FillOccupancy <= 0 {
+		return c.errf("fill_occupancy", "%d: must be >= 1 (the line transfer time)", c.FillOccupancy)
 	}
 	return nil
 }

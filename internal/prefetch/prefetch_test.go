@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"errors"
 	"testing"
 
 	"texcache/internal/cache"
@@ -27,25 +28,28 @@ func TestValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Errorf("default config invalid: %v", err)
 	}
+	for _, tc := range []struct {
+		field  string
+		mutate func(*Config)
+	}{
+		{"fifo_depth", func(c *Config) { c.FIFODepth = -1 }},
+		{"texels_per_cycle", func(c *Config) { c.TexelsPerCycle = 0 }},
+		{"texels_per_fragment", func(c *Config) { c.TexelsPerFragment = 0 }},
+		{"fill_latency", func(c *Config) { c.FillLatency = -1 }},
+		{"fill_occupancy", func(c *Config) { c.FillOccupancy = 0 }},
+	} {
+		bad := good
+		tc.mutate(&bad)
+		var ce *ConfigError
+		if err := bad.Validate(); !errors.As(err, &ce) || ce.Field != tc.field {
+			t.Errorf("%s: want *ConfigError naming the field, got %v", tc.field, err)
+		}
+	}
 	bad := good
-	bad.FIFODepth = -1
-	if err := bad.Validate(); err == nil {
-		t.Error("negative FIFO accepted")
-	}
-	bad = good
-	bad.TexelsPerCycle = 0
-	if err := bad.Validate(); err == nil {
-		t.Error("zero texels/cycle accepted")
-	}
-	bad = good
-	bad.FillOccupancy = 0
-	if err := bad.Validate(); err == nil {
-		t.Error("zero occupancy accepted")
-	}
-	bad = good
 	bad.Cache.SizeBytes = 100
-	if err := bad.Validate(); err == nil {
-		t.Error("invalid cache accepted")
+	var cce *cache.ConfigError
+	if err := bad.Validate(); !errors.As(err, &cce) {
+		t.Errorf("invalid cache not a *cache.ConfigError: %v", err)
 	}
 	if _, err := Simulate(bad, cache.NewTrace(0)); err == nil {
 		t.Error("Simulate accepted invalid config")
