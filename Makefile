@@ -1,5 +1,5 @@
 # Tier-1 gate: everything CI (and every PR) must keep green.
-.PHONY: ci vet gofmt build staticcheck deprecated test golden cover bench bench-check bench-server serve-smoke
+.PHONY: ci vet gofmt build staticcheck deprecated test golden cover bench bench-diff bench-check bench-server serve-smoke
 
 ci: vet gofmt build staticcheck deprecated test cover bench-check serve-smoke
 
@@ -41,6 +41,11 @@ deprecated:
 		echo "deprecated markers must name a replacement (Use ...):" ; \
 		echo "$$bad" ; exit 1 ; \
 	fi
+	@n=$$(grep -c '^// Deprecated:' texcache.go) ; \
+	if [ "$$n" -gt 4 ] ; then \
+		echo "facade carries $$n deprecated markers (max 4); delete migrated wrappers instead of accumulating them" ; \
+		exit 1 ; \
+	fi
 
 # The race leg skips the golden sweep (build-tag gated: byte-identity
 # gains nothing from the race detector and costs ~10x); the golden leg
@@ -57,7 +62,7 @@ golden:
 # packages: raise a floor when coverage improves, never lower it.
 cover:
 	@set -e; \
-	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ./internal/trace:90.0 ; do \
+	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ./internal/trace:90.0 ./internal/pipeline:85.0 ./internal/parallel:85.0 ; do \
 		pkg=$${pf%:*} ; floor=$${pf#*:} ; \
 		pct=$$(go test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p') ; \
 		echo "coverage $$pkg: $$pct% (floor $$floor%)" ; \
@@ -70,9 +75,23 @@ cover:
 # pair measures the tile-parallel render path against the serial scan;
 # the TraceEncode/TraceDecode pair and the TraceStore cold/warm pair
 # track the compact trace codec and the persistent store.
+BENCH_REGEX = BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore|BenchmarkArch
+
 bench:
-	go test -run '^$$' -bench 'BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore|BenchmarkArch' \
+	go test -run '^$$' -bench '$(BENCH_REGEX)' \
 		-benchmem -count 1 . | go run ./cmd/benchjson -o BENCH_engine.json
+
+# bench-diff reruns the recorded benchmark set and compares it against
+# the committed BENCH_engine.json baseline: a gated hot-path benchmark
+# more than 15% slower than its recorded ns/op fails. Timing is
+# host-sensitive, so this is not a ci leg — run it on the baseline's
+# host when touching the simulator's hot paths, and `make bench` to
+# re-baseline when a slowdown is intended.
+BENCH_DIFF_OUT ?= /tmp/texcache-bench-new.json
+bench-diff:
+	go test -run '^$$' -bench '$(BENCH_REGEX)' \
+		-benchmem -count 1 . | go run ./cmd/benchjson -o $(BENCH_DIFF_OUT)
+	go run ./cmd/benchdiff BENCH_engine.json $(BENCH_DIFF_OUT)
 
 # bench-check gates the performance claims: the grouped simulator must
 # beat per-configuration serial simulation by at least 2x on the
@@ -86,7 +105,7 @@ bench:
 # under -short and under -race); the cycle gate is exact and runs
 # everywhere.
 bench-check:
-	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup|TestArchLatencyTolerance' .
+	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup|TestArchLatencyTolerance|TestTraceGenParallelSpeedup|TestBatchReplaySpeedup' .
 	go test -count=1 -run 'TestServerWarmSpeedup' ./cmd/texserve
 
 # bench-server reruns the texserve saturation gate and records its

@@ -272,6 +272,29 @@ func BenchmarkCacheAccess(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheAccessBatch measures the same cache fed in Replay-sized
+// blocks through the batch kernel; ns/op stays per-address, so the ratio
+// to BenchmarkCacheAccess is the batch speedup the bench-check gate
+// enforces.
+func BenchmarkCacheAccessBatch(b *testing.B) {
+	tr := gobletTrace(b)
+	c, err := texcache.NewCache(texcache.CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const block = 1 << 14
+	b.ResetTimer()
+	n := 0
+	for left := b.N; left > 0; {
+		k := min(block, left, len(tr.Addrs)-n)
+		c.AccessBatch(tr.Addrs[n : n+k])
+		left -= k
+		if n += k; n == len(tr.Addrs) {
+			n = 0
+		}
+	}
+}
+
 // BenchmarkCacheAccessClassifying measures the 3C-classification slowdown.
 func BenchmarkCacheAccessClassifying(b *testing.B) {
 	tr := gobletTrace(b)
@@ -300,6 +323,25 @@ func BenchmarkStackDist(b *testing.B) {
 		sd.Access(tr.Addrs[n])
 		n++
 		if n == len(tr.Addrs) {
+			n = 0
+		}
+	}
+}
+
+// BenchmarkStackDistBatch measures the profiler fed in Replay-sized
+// blocks; ns/op stays per-address for comparison with
+// BenchmarkStackDist.
+func BenchmarkStackDistBatch(b *testing.B) {
+	tr := gobletTrace(b)
+	sd := texcache.NewStackDist(128)
+	const block = 1 << 14
+	b.ResetTimer()
+	n := 0
+	for left := b.N; left > 0; {
+		k := min(block, left, len(tr.Addrs)-n)
+		sd.AccessBatch(tr.Addrs[n : n+k])
+		left -= k
+		if n += k; n == len(tr.Addrs) {
 			n = 0
 		}
 	}

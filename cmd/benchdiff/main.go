@@ -1,0 +1,139 @@
+// Command benchdiff compares two benchjson documents and fails when a
+// gated benchmark's ns/op regressed past a threshold:
+//
+//	go test -bench 'Sweep' . | benchjson -o /tmp/bench.json
+//	benchdiff BENCH_engine.json /tmp/bench.json
+//
+// Every benchmark present in both documents is listed with its delta.
+// Benchmarks matching the -gate expression are enforced: a new ns/op
+// more than -threshold percent above the old one exits non-zero, so a
+// committed baseline turns into a regression gate (`make bench-diff`).
+// Benchmarks present on only one side are reported but never fail —
+// baselines grow as benchmarks are added.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// defaultGate matches the engine's hot-path benchmarks — the ones whose
+// speedups the bench-check gates enforce, so a silent slowdown there
+// undermines a recorded performance claim.
+const defaultGate = `^(SerialSweep|EngineSweep|GroupedSweep|CacheAccess|CacheAccessBatch|CacheAccessClassifying|StackDist|StackDistBatch|TraceGenSerial|TraceGenParallel|TraceEncode|TraceDecode)$`
+
+// Benchmark mirrors benchjson's per-benchmark object.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc mirrors benchjson's output document.
+type Doc struct {
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
+	gate := flag.String("gate", defaultGate, "regexp of benchmark names the threshold applies to")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -gate:", err)
+		os.Exit(2)
+	}
+	old, err := readDoc(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := readDoc(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	regressions := diff(os.Stdout, old, cur, gateRe, *threshold)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gated benchmark(s) regressed more than %.0f%%:\n", len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+}
+
+func readDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &d, nil
+}
+
+// diff prints the comparison table and returns a description of every
+// gated benchmark whose ns/op regressed past threshold percent.
+func diff(w io.Writer, old, cur *Doc, gate *regexp.Regexp, threshold float64) []string {
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var regressions []string
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		o, ok := oldBy[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %14s -> %12.0f ns/op  (new)\n", b.Name, "-", b.NsPerOp)
+			continue
+		}
+		if o.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		pct := (b.NsPerOp/o.NsPerOp - 1) * 100
+		gated := gate.MatchString(b.Name)
+		mark := ""
+		if gated {
+			mark = "  [gated]"
+			if pct > threshold {
+				mark = "  [REGRESSED]"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", b.Name, o.NsPerOp, b.NsPerOp, pct))
+			}
+		}
+		fmt.Fprintf(w, "%-28s %12.0f -> %12.0f ns/op  %+6.1f%%%s\n", b.Name, o.NsPerOp, b.NsPerOp, pct, mark)
+	}
+	var gone []string
+	for name := range oldBy {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-28s %12.0f -> %14s          (missing from new run)\n", name, oldBy[name].NsPerOp, "-")
+	}
+	return regressions
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func doc(pairs ...any) *Doc {
+	d := &Doc{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		d.Benchmarks = append(d.Benchmarks, Benchmark{
+			Name:    pairs[i].(string),
+			NsPerOp: float64(pairs[i+1].(int)),
+		})
+	}
+	return d
+}
+
+func runDiff(t *testing.T, old, cur *Doc) (string, []string) {
+	t.Helper()
+	var sb strings.Builder
+	regs := diff(&sb, old, cur, regexp.MustCompile(defaultGate), 15)
+	return sb.String(), regs
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	old := doc("GroupedSweep", 1000, "CacheAccess", 100)
+	cur := doc("GroupedSweep", 1100, "CacheAccess", 90) // +10%, -10%
+	out, regs := runDiff(t, old, cur)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v\n%s", regs, out)
+	}
+	if !strings.Contains(out, "[gated]") {
+		t.Errorf("gated benchmarks not marked:\n%s", out)
+	}
+}
+
+func TestDiffFailsPastThreshold(t *testing.T) {
+	old := doc("GroupedSweep", 1000, "CacheAccessBatch", 100)
+	cur := doc("GroupedSweep", 1200, "CacheAccessBatch", 101) // +20%, +1%
+	out, regs := runDiff(t, old, cur)
+	if len(regs) != 1 || !strings.Contains(regs[0], "GroupedSweep") {
+		t.Fatalf("want one GroupedSweep regression, got %v\n%s", regs, out)
+	}
+	if !strings.Contains(out, "[REGRESSED]") {
+		t.Errorf("regression not marked in table:\n%s", out)
+	}
+}
+
+func TestDiffIgnoresUngatedRegression(t *testing.T) {
+	old := doc("Fig5_2", 1000)
+	cur := doc("Fig5_2", 2000) // +100%, but not a gated hot path
+	_, regs := runDiff(t, old, cur)
+	if len(regs) != 0 {
+		t.Fatalf("ungated benchmark failed the gate: %v", regs)
+	}
+}
+
+func TestDiffNewAndMissingBenchmarks(t *testing.T) {
+	old := doc("CacheAccess", 100, "OldOnly", 50)
+	cur := doc("CacheAccess", 100, "StackDistBatch", 80)
+	out, regs := runDiff(t, old, cur)
+	if len(regs) != 0 {
+		t.Fatalf("presence changes must not fail the gate: %v", regs)
+	}
+	if !strings.Contains(out, "(new)") || !strings.Contains(out, "missing from new run") {
+		t.Errorf("presence changes not reported:\n%s", out)
+	}
+}
+
+func TestDefaultGateCoversBenchCheckPaths(t *testing.T) {
+	re := regexp.MustCompile(defaultGate)
+	for _, name := range []string{
+		"SerialSweep", "GroupedSweep", "EngineSweep",
+		"CacheAccess", "CacheAccessBatch", "StackDist", "StackDistBatch",
+		"TraceGenSerial", "TraceGenParallel",
+	} {
+		if !re.MatchString(name) {
+			t.Errorf("default gate does not cover %s", name)
+		}
+	}
+	for _, name := range []string{"Fig5_2", "TraceStoreCold", "EngineBatch"} {
+		if re.MatchString(name) {
+			t.Errorf("default gate unexpectedly covers %s", name)
+		}
+	}
+}

@@ -357,6 +357,69 @@ func (c *Cache) Access(addr uint64) bool {
 	return false
 }
 
+// AccessBatch presents every address of addrs to the cache in order,
+// exactly as len(addrs) Access calls would, and returns the number of
+// hits. The replay paths hand whole blocks here instead of making one
+// interface call per address. The dominant sweep shape — a set-
+// associative LRU cache without 3C classification or a miss observer —
+// takes a specialized loop that keeps the tag-array geometry and the
+// clock in registers; every other organization falls back to the scalar
+// kernel. Final cache state and statistics are bit-identical either way.
+func (c *Cache) AccessBatch(addrs []uint64) int {
+	if c.full != nil || c.everLoaded != nil || c.onMiss != nil || c.cfg.Policy != LRU {
+		hits := 0
+		for _, a := range addrs {
+			if c.Access(a) {
+				hits++
+			}
+		}
+		return hits
+	}
+	shift, mask, ways := c.lineShift, c.setMask, c.ways
+	tags, stamps := c.tags, c.stamps
+	clock := c.clock
+	hits := 0
+	for _, addr := range addrs {
+		lineAddr := addr >> shift
+		clock++
+		base := int(lineAddr&mask) * ways
+		set := tags[base : base+ways : base+ways]
+		victim := -1
+		hit := false
+		for i, tag := range set {
+			if tag == lineAddr {
+				stamps[base+i] = clock
+				hit = true
+				break
+			}
+			if tag == invalidTag && victim == -1 {
+				victim = i
+			}
+		}
+		if hit {
+			hits++
+			continue
+		}
+		if victim == -1 {
+			st := stamps[base : base+ways : base+ways]
+			oldest := st[0]
+			victim = 0
+			for i := 1; i < len(st); i++ {
+				if st[i] < oldest {
+					oldest = st[i]
+					victim = i
+				}
+			}
+		}
+		set[victim] = lineAddr
+		stamps[base+victim] = clock
+	}
+	c.clock = clock
+	c.stats.Accesses += uint64(len(addrs))
+	c.stats.Misses += uint64(len(addrs) - hits)
+	return hits
+}
+
 func (c *Cache) accessSetAssoc(lineAddr uint64) bool {
 	base := int(lineAddr&c.setMask) * c.ways
 	tags := c.tags[base : base+c.ways : base+c.ways]
@@ -429,10 +492,13 @@ func (c *Cache) Contains(addr uint64) bool {
 func (c *Cache) SetMissObserver(fn func(lineByteAddr uint64)) { c.onMiss = fn }
 
 // cacheSink adapts a Cache to the Sink interface, discarding the hit
-// result that Access returns.
+// result that Access returns. It also satisfies the replay loops' batch
+// fast path, so a cache behind a Sink still consumes whole blocks.
 type cacheSink struct{ c *Cache }
 
 func (s cacheSink) Access(addr uint64) { s.c.Access(addr) }
+
+func (s cacheSink) AccessBatch(addrs []uint64) { s.c.AccessBatch(addrs) }
 
 // Sink returns a Sink view of the cache for use with Trace.Replay and the
 // fragment generator's access callback.

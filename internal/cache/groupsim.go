@@ -272,6 +272,15 @@ func (g *groupSim) Access(addr uint64) {
 	g.head = i
 }
 
+// AccessBatch presents a whole ordered block to the group, sparing the
+// replay loops one interface call per address; the walk itself is
+// unchanged, so results are bit-identical to per-address Access.
+func (g *groupSim) AccessBatch(addrs []uint64) {
+	for _, a := range addrs {
+		g.Access(a)
+	}
+}
+
 // statsAt assembles the Stats of the configuration registered at slot.
 func (g *groupSim) statsAt(slot int) Stats {
 	cf := &g.cfgs[slot]

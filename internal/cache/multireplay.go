@@ -77,39 +77,21 @@ func (t *Trace) replayConcurrent(ctx context.Context, chunkLen int, sinks []Sink
 			defer wg.Done()
 			// A nil chunk is the end-of-trace sentinel; a closed channel
 			// (cancelled pass) also delivers nil. Never sent as a real
-			// chunk: the producer slices a non-empty trace.
-			switch s := s.(type) {
-			case *StackDist:
-				// Direct dispatch for the profilers, as in Replay.
-				for chunk := range ch {
-					if chunk == nil {
-						break
-					}
+			// chunk: the producer slices a non-empty trace. Batch-capable
+			// sinks absorb each chunk in one call, as in Replay.
+			bs, _ := s.(batchSink)
+			for chunk := range ch {
+				if chunk == nil {
+					break
+				}
+				if bs != nil {
+					bs.AccessBatch(chunk)
+				} else {
 					for _, a := range chunk {
 						s.Access(a)
 					}
-					backlog.Add(-1)
 				}
-			case *groupSim:
-				for chunk := range ch {
-					if chunk == nil {
-						break
-					}
-					for _, a := range chunk {
-						s.Access(a)
-					}
-					backlog.Add(-1)
-				}
-			default:
-				for chunk := range ch {
-					if chunk == nil {
-						break
-					}
-					for _, a := range chunk {
-						s.Access(a)
-					}
-					backlog.Add(-1)
-				}
+				backlog.Add(-1)
 			}
 		}(s, ch)
 	}

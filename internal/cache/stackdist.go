@@ -77,6 +77,39 @@ func (s *StackDist) Access(addr uint64) {
 	s.fenwickAdd(t, 1)
 }
 
+// AccessBatch records every address of addrs in order, exactly as
+// len(addrs) Access calls would. The per-access compaction check hoists
+// to one capacity test per block: the block is split so the virtual
+// clock never crosses fenwickCap inside the inner loop, which compacts
+// at precisely the access the scalar kernel would — the profiler state
+// is bit-identical, not merely distance-equivalent.
+func (s *StackDist) AccessBatch(addrs []uint64) {
+	for len(addrs) > 0 {
+		room := fenwickCap - int(s.now)
+		if room <= 0 {
+			s.compact()
+			continue
+		}
+		n := min(room, len(addrs))
+		for _, addr := range addrs[:n] {
+			la := addr >> s.lineShift
+			t := s.now
+			s.now++
+			if lt, ok := s.lastTime[la]; ok {
+				d := s.suffixCount(lt)
+				s.record(d + 1)
+				s.fenwickAdd(lt, -1)
+			} else {
+				s.cold++
+			}
+			s.lastTime[la] = t
+			s.fenwickAdd(t, 1)
+		}
+		s.accesses += uint64(n)
+		addrs = addrs[n:]
+	}
+}
+
 // record tallies one access at stack distance d (1 = re-access of the MRU
 // line).
 func (s *StackDist) record(d int32) {

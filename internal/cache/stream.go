@@ -36,27 +36,19 @@ func ReplayStream(s AddrStream, sinks ...Sink) {
 	}
 }
 
-// replayCursor drains one cursor into one sink. The profilers get direct
-// dispatch so their hot loops avoid the interface call, as in Replay.
+// replayCursor drains one cursor into one sink. Batch-capable sinks
+// (caches, the profilers, the grouped simulator) consume whole blocks,
+// so their hot loops avoid the per-address interface call, as in Replay.
 func replayCursor(cur Cursor, sink Sink) {
-	switch sink := sink.(type) {
-	case *StackDist:
+	if bs, ok := sink.(batchSink); ok {
 		for block := cur.Next(); block != nil; block = cur.Next() {
-			for _, a := range block {
-				sink.Access(a)
-			}
+			bs.AccessBatch(block)
 		}
-	case *groupSim:
-		for block := cur.Next(); block != nil; block = cur.Next() {
-			for _, a := range block {
-				sink.Access(a)
-			}
-		}
-	default:
-		for block := cur.Next(); block != nil; block = cur.Next() {
-			for _, a := range block {
-				sink.Access(a)
-			}
+		return
+	}
+	for block := cur.Next(); block != nil; block = cur.Next() {
+		for _, a := range block {
+			sink.Access(a)
 		}
 	}
 }
@@ -93,25 +85,19 @@ func ReplayStreamConcurrent(ctx context.Context, s AddrStream, sinks ...Sink) er
 				replayCursor(cur, sink)
 				return
 			}
+			bs, _ := sink.(batchSink)
 			for block := cur.Next(); block != nil; block = cur.Next() {
 				select {
 				case <-done:
 					return
 				default:
 				}
-				switch sink := sink.(type) {
-				case *StackDist:
-					for _, a := range block {
-						sink.Access(a)
-					}
-				case *groupSim:
-					for _, a := range block {
-						sink.Access(a)
-					}
-				default:
-					for _, a := range block {
-						sink.Access(a)
-					}
+				if bs != nil {
+					bs.AccessBatch(block)
+					continue
+				}
+				for _, a := range block {
+					sink.Access(a)
 				}
 			}
 		}(sink)

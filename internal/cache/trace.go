@@ -43,6 +43,15 @@ type BulkSink interface {
 	AccessBulk(addrs []uint64)
 }
 
+// batchSink is the replay loops' fast-path contract: a sink that can
+// consume a whole ordered block per call, bit-identically to per-address
+// Access. Cache (via Sink), StackDist and the grouped simulator satisfy
+// it, so every replay entry point pays one interface call per block
+// instead of one per address.
+type batchSink interface {
+	AccessBatch(addrs []uint64)
+}
+
 // Trace records a texel address stream in memory so one rendering pass can
 // be replayed through many cache configurations — the address stream
 // depends on the scene, texture layout and rasterization order but never
@@ -140,12 +149,10 @@ func (t *Trace) Replay(sinks ...Sink) {
 		start = time.Now()
 	}
 	for _, s := range sinks {
-		if c, ok := s.(*StackDist); ok {
-			// Direct dispatch keeps the profiler's hot loop free of
-			// interface-call overhead.
-			for _, a := range t.Addrs {
-				c.Access(a)
-			}
+		if bs, ok := s.(batchSink); ok {
+			// Batch dispatch: the whole trace in one call keeps the
+			// sink's hot loop free of interface-call overhead.
+			bs.AccessBatch(t.Addrs)
 			continue
 		}
 		for _, a := range t.Addrs {
@@ -177,9 +184,7 @@ func (t *Trace) SimulateConfigs(cfgs []Config) []Stats {
 	out := make([]Stats, len(cfgs))
 	for i, cfg := range cfgs {
 		c := NewClassifying(cfg)
-		for _, a := range t.Addrs {
-			c.Access(a)
-		}
+		c.AccessBatch(t.Addrs)
 		out[i] = c.Stats()
 	}
 	if reg != nil {

@@ -89,6 +89,11 @@ type Renderer struct {
 	// TilePx is the screen-tile edge for the parallel path
 	// (DefaultTilePx when zero or negative).
 	TilePx int
+	// TraceHint is the expected number of texel addresses the frame
+	// will emit (scene-scale hint). The tile-parallel path divides it
+	// across tiles by pixel share to pre-size per-tile trace buffers;
+	// zero falls back to the trilinear eight-per-pixel estimate.
+	TraceHint int
 
 	Stats FrameStats
 

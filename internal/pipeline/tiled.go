@@ -40,6 +40,13 @@ type fragRec struct {
 	n    uint32
 }
 
+// tileRange is the inclusive rectangle of grid tiles a triangle's
+// clamped bounding box overlaps; tx1 < tx0 marks a triangle outside the
+// screen. It is both the binning footprint and the merge's wait set.
+type tileRange struct {
+	tx0, ty0, tx1, ty1 int32
+}
+
 // triSpan is one triangle's contiguous slice of a tile stream, in frame
 // triangle order.
 type triSpan struct {
@@ -53,7 +60,7 @@ type triSpan struct {
 // append.
 type tileStream struct {
 	rect raster.Rect
-	tris []int // bound triangle sequence numbers, ascending
+	tris []int32 // bound triangle sequence numbers, ascending
 
 	addrs []uint64
 	frags []fragRec
@@ -61,6 +68,12 @@ type tileStream struct {
 
 	shaded, textured uint64
 	fetches          uint64
+
+	// done is closed by the rendering worker when the tile's stream is
+	// complete; the overlapped merge waits on it per tile instead of on
+	// a whole-frame barrier, so early tiles drain while later tiles
+	// still rasterize.
+	done chan struct{}
 }
 
 // Access implements cache.Sink.
@@ -76,16 +89,26 @@ func (ts *tileStream) Access(addr uint64) { ts.addrs = append(ts.addrs, addr) }
 var tilePools sync.Map // tile pixel capacity (int) → *sync.Pool
 
 // getTileStream returns a recycled (or fresh) stream for the rect,
-// bound to the given triangle list.
-func getTileStream(rect raster.Rect, tris []int) *tileStream {
+// bound to the given triangle list. addrHint is the expected address
+// volume of the tile (from the frame's scene-scale trace hint): a fresh
+// or undersized stream pre-grows to it, so first frames reach steady-
+// state capacity without walking the doubling ladder per tile.
+func getTileStream(rect raster.Rect, tris []int32, addrHint int) *tileStream {
 	capPx := (rect.X1 - rect.X0 + 1) * (rect.Y1 - rect.Y0 + 1)
 	p, _ := tilePools.LoadOrStore(capPx, &sync.Pool{})
 	ts, _ := p.(*sync.Pool).Get().(*tileStream)
 	if ts == nil {
 		ts = &tileStream{}
 	}
+	if addrHint > cap(ts.addrs) {
+		ts.addrs = make([]uint64, 0, addrHint)
+	}
+	if capPx > cap(ts.frags) {
+		ts.frags = make([]fragRec, 0, capPx)
+	}
 	ts.rect = rect
 	ts.tris = tris
+	ts.done = make(chan struct{})
 	return ts
 }
 
@@ -96,6 +119,7 @@ func getTileStream(rect raster.Rect, tris []int) *tileStream {
 func putTileStream(ts *tileStream) {
 	capPx := (ts.rect.X1 - ts.rect.X0 + 1) * (ts.rect.Y1 - ts.rect.Y0 + 1)
 	ts.tris = nil
+	ts.done = nil
 	ts.addrs = ts.addrs[:0]
 	ts.frags = ts.frags[:0]
 	ts.spans = ts.spans[:0]
@@ -114,11 +138,23 @@ func (r *Renderer) parallelEligible() bool {
 	return r.RenderWorkers > 1 && r.OnAccess == nil && r.Counters == nil
 }
 
+// deferredPool recycles the captured-triangle slice across frames and
+// renderers. Scene drivers build a fresh Renderer per frame, so without
+// recycling every parallel frame re-walks the append doubling ladder
+// over tens of thousands of screen triangles — the largest remaining
+// per-frame allocation once the tile streams themselves were pooled.
+var deferredPool sync.Pool
+
 // deferTri captures a screen triangle for the tile pass, returning false
 // when the frame is not running in deferred mode.
 func (r *Renderer) deferTri(v0, v1, v2 raster.Vert, tex *texture.Texture) bool {
 	if !r.parallelEligible() {
 		return false
+	}
+	if r.deferred == nil {
+		if s, ok := deferredPool.Get().(*[]screenTri); ok {
+			r.deferred = (*s)[:0]
+		}
 	}
 	r.deferred = append(r.deferred, screenTri{v0: v0, v1: v1, v2: v2, tex: tex})
 	return true
@@ -129,12 +165,26 @@ func (r *Renderer) deferTri(v0, v1, v2 raster.Vert, tex *texture.Texture) bool {
 // RenderWorkers goroutines and merges the texel-access streams back
 // into serial order; for a serial frame it is a no-op, so callers may
 // invoke it unconditionally after the frame's draws.
+//
+// The merge is pipelined: it runs on the calling goroutine concurrently
+// with the tile workers, consuming each tile's spans as soon as that
+// tile's stream completes instead of waiting for a whole-frame barrier.
+// Triangles are merged in frame order, and the merge of triangle seq
+// only waits on the tiles seq was binned to, so the long tail of a
+// skewed frame (one huge tile, many small ones) overlaps with draining
+// everything that is already done.
 func (r *Renderer) Finish() {
 	tris := r.deferred
 	if len(tris) == 0 {
 		return
 	}
-	r.deferred = r.deferred[:0]
+	r.deferred = nil
+	// The capture slice is dead once the frame completes; recycle it for
+	// the next frame's deferTri (this renderer's or any other's).
+	defer func() {
+		tris = tris[:0]
+		deferredPool.Put(&tris)
+	}()
 
 	tile := r.TilePx
 	if tile <= 0 {
@@ -143,26 +193,69 @@ func (r *Renderer) Finish() {
 	grid := raster.NewGrid(r.Width, r.Height, tile)
 
 	// Bin triangles to the tiles their clamped bounding boxes overlap.
-	bins := make([][]int, grid.NumTiles())
+	// Binning is two counting passes into one flat slab instead of
+	// per-tile append growth: a frame makes a handful of allocations
+	// regardless of triangle count, and the stored per-triangle tile
+	// ranges double as the merge's triangle -> tiles map.
+	nTiles := grid.NumTiles()
+	ranges := make([]tileRange, len(tris))
+	cnt := make([]int32, nTiles+1)
+	total := 0
 	for seq := range tris {
 		st := &tris[seq]
 		bbox, ok := raster.Bounds(st.v0, st.v1, st.v2, r.Width, r.Height)
 		if !ok {
+			ranges[seq] = tileRange{tx0: 0, ty0: 0, tx1: -1, ty1: -1}
 			continue
 		}
 		tx0, ty0, tx1, ty1 := grid.TileRange(bbox)
+		ranges[seq] = tileRange{tx0: int32(tx0), ty0: int32(ty0), tx1: int32(tx1), ty1: int32(ty1)}
 		for ty := ty0; ty <= ty1; ty++ {
 			for tx := tx0; tx <= tx1; tx++ {
-				i := ty*grid.NX + tx
-				bins[i] = append(bins[i], seq)
+				cnt[ty*grid.NX+tx]++
+			}
+		}
+		total += (tx1 - tx0 + 1) * (ty1 - ty0 + 1)
+	}
+	// binOff[i]..binOff[i+1] brackets tile i's triangle list in binFlat;
+	// cnt is reused as the per-tile fill cursor.
+	binOff := make([]int32, nTiles+1)
+	for i := 0; i < nTiles; i++ {
+		binOff[i+1] = binOff[i] + cnt[i]
+		cnt[i] = binOff[i]
+	}
+	binFlat := make([]int32, total)
+	for seq := range tris {
+		rg := ranges[seq]
+		for ty := rg.ty0; ty <= rg.ty1; ty++ {
+			for tx := rg.tx0; tx <= rg.tx1; tx++ {
+				i := int(ty)*grid.NX + int(tx)
+				binFlat[cnt[i]] = int32(seq)
+				cnt[i]++
 			}
 		}
 	}
-	streams := make([]*tileStream, 0, len(bins))
-	for i, bin := range bins {
-		if len(bin) > 0 {
-			streams = append(streams, getTileStream(grid.Rect(i), bin))
+	// Per-tile address pre-sizing: share of the frame's expected address
+	// volume proportional to the tile's pixel count.
+	perPx := 8 // trilinear footprint: eight texels per textured fragment
+	if r.TraceHint > 0 && r.Width > 0 && r.Height > 0 {
+		if p := r.TraceHint / (r.Width * r.Height); p > 0 {
+			perPx = p
 		}
+	}
+	// streamOf maps a tile index to its stream (-1 for empty tiles), for
+	// the merge's range walk.
+	streamOf := make([]int32, nTiles)
+	var streams []*tileStream
+	for i := 0; i < nTiles; i++ {
+		if binOff[i+1] == binOff[i] {
+			streamOf[i] = -1
+			continue
+		}
+		rect := grid.Rect(i)
+		hint := (rect.X1 - rect.X0 + 1) * (rect.Y1 - rect.Y0 + 1) * perPx
+		streamOf[i] = int32(len(streams))
+		streams = append(streams, getTileStream(rect, binFlat[binOff[i]:binOff[i+1]], hint))
 	}
 	if len(streams) == 0 {
 		return
@@ -170,13 +263,18 @@ func (r *Renderer) Finish() {
 
 	// Rasterize the tiles on the worker pool. Tiles partition the
 	// screen, so each worker writes disjoint framebuffer indices —
-	// no locks on the hot path.
+	// no locks on the hot path. The work channel is pre-loaded so the
+	// caller is free to merge while the workers run.
 	start := time.Now()
 	workers := r.RenderWorkers
 	if workers > len(streams) {
 		workers = len(streams)
 	}
-	work := make(chan *tileStream)
+	work := make(chan *tileStream, len(streams))
+	for _, ts := range streams {
+		work <- ts
+	}
+	close(work)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -184,13 +282,17 @@ func (r *Renderer) Finish() {
 			defer wg.Done()
 			for ts := range work {
 				r.renderTile(ts, tris)
+				close(ts.done)
 			}
 		}()
 	}
-	for _, ts := range streams {
-		work <- ts
+
+	// Overlapped merge: drain completed tiles' spans while later tiles
+	// still render. Each tile's stream is written only by its rendering
+	// worker before done closes, so the merge reads it race-free.
+	if r.Sink != nil {
+		r.mergeStreams(tris, streams, ranges, streamOf, grid.NX)
 	}
-	close(work)
 	wg.Wait()
 
 	// Fold the tile counters into the frame statistics; every counter is
@@ -200,14 +302,12 @@ func (r *Renderer) Finish() {
 		r.Stats.FragmentsTextured += ts.textured
 		r.sampler.Fetches += ts.fetches
 	}
-	// Tile metrics flush once per frame, never per tile element.
+	// Tile metrics flush once per frame, never per tile element. The
+	// tile_pass timer covers rasterization plus the overlapped merge.
 	rend := obs.Default().Sub("render")
 	rend.Counter("tiles").Add(uint64(len(streams)))
 	rend.Timer("tile_pass").ObserveSince(start)
 
-	if r.Sink != nil {
-		r.mergeStreams(tris, streams)
-	}
 	for _, ts := range streams {
 		putTileStream(ts)
 	}
@@ -224,7 +324,7 @@ func (r *Renderer) renderTile(ts *tileStream, tris []screenTri) {
 	}
 	for _, seq := range ts.tris {
 		st := &tris[seq]
-		span := triSpan{seq: seq, fragLo: len(ts.frags), addrLo: len(ts.addrs)}
+		span := triSpan{seq: int(seq), fragLo: len(ts.frags), addrLo: len(ts.addrs)}
 		texW, texH := 0, 0
 		if st.tex != nil {
 			texW = st.tex.Mip.Levels[0].W
@@ -265,7 +365,16 @@ func (r *Renderer) renderTile(ts *tileStream, tris []screenTri) {
 // within a triangle a k-way merge of the participating tiles' fragment
 // runs by rank. Each tile's stream is already rank-sorted (a clipped
 // scan visits pixels in serial order), so the merge is linear.
-func (r *Renderer) mergeStreams(tris []screenTri, streams []*tileStream) {
+//
+// The merge runs concurrently with the tile workers: before touching a
+// triangle's spans it waits (receives on a closed channel are nearly
+// free after the first) for the tiles the triangle was binned to — its
+// stored tileRange — so spans of completed tiles flow into the sink
+// while unrelated tiles are still rasterizing. The range walk also
+// keeps the per-triangle scan away from tiles that cannot hold it,
+// making the merge O(bin entries) instead of O(triangles x tiles).
+func (r *Renderer) mergeStreams(tris []screenTri, streams []*tileStream,
+	ranges []tileRange, streamOf []int32, nx int) {
 	bulk, _ := r.Sink.(cache.BulkSink)
 	emitRun := func(addrs []uint64) {
 		if bulk != nil {
@@ -279,20 +388,15 @@ func (r *Renderer) mergeStreams(tris []screenTri, streams []*tileStream) {
 		}
 	}
 
-	// merge_backlog tracks how many tile streams still hold unmerged
-	// spans; it drains to zero as the merge consumes them.
-	pending := 0
-	for _, ts := range streams {
-		if len(ts.spans) > 0 {
-			pending++
-		}
-	}
+	// merge_backlog tracks how many tile streams the merge has not yet
+	// fully consumed; it drains to zero as their spans are emitted.
 	backlog := obs.Default().Sub("render").Gauge("merge_backlog")
-	backlog.Set(int64(pending))
+	backlog.Set(int64(len(streams)))
 	defer backlog.Set(0)
 
 	// cur[i] walks stream i's span list; spans are in ascending seq.
 	cur := make([]int, len(streams))
+	drained := make([]bool, len(streams))
 	type head struct {
 		ts   *tileStream
 		span triSpan
@@ -302,11 +406,19 @@ func (r *Renderer) mergeStreams(tris []screenTri, streams []*tileStream) {
 	var heads []head
 	for seq := range tris {
 		heads = heads[:0]
-		for i, ts := range streams {
-			if cur[i] < len(ts.spans) && ts.spans[cur[i]].seq == seq {
-				heads = append(heads, head{ts: ts, span: ts.spans[cur[i]]})
-				cur[i] = cur[i] + 1
-				if cur[i] == len(ts.spans) {
+		rg := ranges[seq]
+		for ty := rg.ty0; ty <= rg.ty1; ty++ {
+			for tx := rg.tx0; tx <= rg.tx1; tx++ {
+				si := streamOf[int(ty)*nx+int(tx)]
+				ts := streams[si]
+				<-ts.done
+				if cur[si] < len(ts.spans) && ts.spans[cur[si]].seq == seq {
+					heads = append(heads, head{ts: ts, span: ts.spans[cur[si]]})
+					cur[si]++
+				}
+				if !drained[si] && cur[si] >= len(ts.spans) {
+					// Stream fully consumed (or empty): counted once.
+					drained[si] = true
 					backlog.Add(-1)
 				}
 			}

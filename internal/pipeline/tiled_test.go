@@ -251,3 +251,92 @@ func TestFinishIsIdempotent(t *testing.T) {
 		t.Fatal("second Finish changed the frame")
 	}
 }
+
+// skewScene builds the adversarial load-imbalance frame: one giant quad
+// covering the whole screen (two triangles binned to every tile) drawn
+// first, then many tiny triangles crowded into one corner tile, then a
+// light scatter elsewhere. One tile carries far more work than the rest,
+// so the overlapped merge must wait on the straggler for the early
+// triangles while the remaining tiles finish and drain around it.
+func skewScene(t testing.TB, w, h int) (*geom.Mesh, Camera, func() *Renderer) {
+	t.Helper()
+	_, cam, newRenderer := clutterScene(t, w, h, 1)
+	mesh := &geom.Mesh{}
+	vert := func(x, y, z, u, v float64) geom.Vertex {
+		return geom.Vertex{
+			Pos:    vecmath.Vec3{X: x, Y: y, Z: z},
+			Normal: vecmath.Vec3{Z: 1},
+			UV:     vecmath.Vec2{X: u, Y: v},
+			Color:  vecmath.Vec3{X: 1, Y: 1, Z: 1},
+		}
+	}
+	// Fullscreen backdrop: overlaps every tile at depth 0.45.
+	mesh.AddQuad(
+		vert(-3, -3, 0.45, 0, 0), vert(3, -3, 0.45, 4, 0),
+		vert(3, 3, 0.45, 4, 4), vert(-3, 3, 0.45, 0, 4), 0)
+	rng := rand.New(rand.NewSource(42))
+	tiny := func(cx, cy float64) {
+		var v [3]geom.Vertex
+		for j := range v {
+			v[j] = vert(
+				cx+rng.Float64()*0.06-0.03,
+				cy+rng.Float64()*0.06-0.03,
+				rng.Float64()*0.4-0.2,
+				rng.Float64()*2, rng.Float64()*2)
+		}
+		mesh.Add(v[0], v[1], v[2], 0)
+	}
+	for i := 0; i < 300; i++ { // crowd the top-left corner tile
+		tiny(-1.1+rng.Float64()*0.2, 0.9+rng.Float64()*0.2)
+	}
+	for i := 0; i < 40; i++ { // light scatter across the rest
+		tiny(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return mesh, cam, newRenderer
+}
+
+// TestTileSkewDeterminism is the stress case for the pipelined merge:
+// with one tile holding an order of magnitude more triangles than any
+// other and a backdrop binned everywhere, the parallel trace, image and
+// statistics must still match the serial frame exactly at every worker
+// count and tile size.
+func TestTileSkewDeterminism(t *testing.T) {
+	const w, h = 128, 96
+	mesh, cam, newRenderer := skewScene(t, w, h)
+
+	serial := newRenderer()
+	serialTrace := renderClutter(mesh, cam, serial)
+	if serialTrace.Len() == 0 {
+		t.Fatal("serial trace empty")
+	}
+
+	for _, workers := range []int{2, 4, 16} {
+		for _, tilePx := range []int{0, 16} {
+			par := newRenderer()
+			par.RenderWorkers = workers
+			par.TilePx = tilePx
+			parTrace := renderClutter(mesh, cam, par)
+
+			if len(parTrace.Addrs) != len(serialTrace.Addrs) {
+				t.Fatalf("workers=%d tile=%d: %d addrs, serial %d",
+					workers, tilePx, len(parTrace.Addrs), len(serialTrace.Addrs))
+			}
+			for i := range serialTrace.Addrs {
+				if parTrace.Addrs[i] != serialTrace.Addrs[i] {
+					t.Fatalf("workers=%d tile=%d: addr %d = %#x, serial %#x",
+						workers, tilePx, i, parTrace.Addrs[i], serialTrace.Addrs[i])
+				}
+			}
+			if par.Stats != serial.Stats {
+				t.Fatalf("workers=%d tile=%d: stats %+v, serial %+v",
+					workers, tilePx, par.Stats, serial.Stats)
+			}
+			for i := range serial.FB.Color {
+				if par.FB.Color[i] != serial.FB.Color[i] || par.FB.Depth[i] != serial.FB.Depth[i] {
+					t.Fatalf("workers=%d tile=%d: framebuffer differs at pixel %d",
+						workers, tilePx, i)
+				}
+			}
+		}
+	}
+}

@@ -102,6 +102,9 @@ func (s *Scene) Render(opt RenderOptions) (*pipeline.Renderer, error) {
 	r.Counters = opt.Counters
 	r.FragmentMask = opt.FragmentMask
 	r.RenderWorkers = opt.Workers
+	// Size the parallel path's per-tile trace buffers from the same
+	// scene-scale estimate Trace uses for the frame sink.
+	r.TraceHint = s.traceSizeHint()
 
 	arena := texture.NewArena()
 	r.Textures = make([]*texture.Texture, len(s.Mips))

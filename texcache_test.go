@@ -138,14 +138,28 @@ func TestMemoryModelFacades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc := texcache.DefaultPrefetch(texcache.CacheConfig{
-		SizeBytes: 32 << 10, LineBytes: 128, Ways: 2}, 64)
-	res, err := texcache.SimulatePrefetch(pc, tr)
+	ac := texcache.DefaultArch(texcache.CacheConfig{
+		SizeBytes: 32 << 10, LineBytes: 128, Ways: 2}, texcache.ArchPrefetch)
+	res, err := texcache.SimulateArch(ac, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Accesses != uint64(tr.Len()) || res.Utilization() <= 0 {
-		t.Errorf("prefetch facade result = %+v", res)
+		t.Errorf("arch facade result = %+v", res)
+	}
+
+	// One replay, several timing points: the timeline must agree with the
+	// direct simulation at the same configuration.
+	tl, err := texcache.NewArchTimeline(ac.Cache, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := tl.Simulate(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != res {
+		t.Errorf("timeline result %+v != direct %+v", again, res)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -37,6 +38,76 @@ func traceHash(addrs []uint64) string {
 		h.Write(b[:])
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fbHash hashes the rendered image: every color channel in pixel order,
+// then every depth value's bit pattern. Two renders hash equal only if
+// the framebuffer and z-buffer are bit-identical.
+func fbHash(r *texcache.Renderer) string {
+	h := sha256.New()
+	for _, c := range r.FB.Color {
+		h.Write([]byte{c.R, c.G, c.B, c.A})
+	}
+	var b [4]byte
+	for _, d := range r.FB.Depth {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(d))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fbGoldenPath is the framebuffer-hash fixture, keyed like the trace
+// fixture (scene, scale, order). It pins the serial renderer's image so
+// the worker sweep below proves the tile pass reproduces pixels and
+// depth exactly, not just the address stream.
+var fbGoldenPath = filepath.Join("testdata", "golden", "fb_sha256.txt")
+
+func readGoldenFBHashes(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(fbGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	defer f.Close()
+	out := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var scene, order, hash string
+		var scale int
+		if _, err := fmt.Sscanf(sc.Text(), "%s %d %s %s", &scene, &scale, &order, &hash); err != nil {
+			t.Fatalf("bad fixture line %q: %v", sc.Text(), err)
+		}
+		out[fmt.Sprintf("%s/%d/%s", scene, scale, order)] = hash
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty framebuffer hash fixture")
+	}
+	return out
+}
+
+// updateGoldenFBHashes regenerates the framebuffer fixture from serial
+// renders of every trace-fixture row.
+func updateGoldenFBHashes(t *testing.T, rows []goldenTraceRow) {
+	t.Helper()
+	layout := texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8}
+	var buf []byte
+	for _, row := range rows {
+		scene, err := texcache.SceneByNameChecked(row.scene, row.scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, r, err := scene.Trace(layout, goldenTraversal(t, row.order))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, fmt.Sprintf("%s %d %s %s\n", row.scene, row.scale, row.order, fbHash(r))...)
+	}
+	if err := os.WriteFile(fbGoldenPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // goldenTraceRow is one line of trace_sha256.txt.
@@ -107,7 +178,12 @@ func determinismWorkerCounts() []int {
 // always run.
 func TestTraceDeterminism(t *testing.T) {
 	layout := texcache.LayoutSpec{Kind: texcache.Blocked, BlockW: 8}
-	for _, row := range readGoldenTraceRows(t) {
+	rows := readGoldenTraceRows(t)
+	if *updateGolden {
+		updateGoldenFBHashes(t, rows)
+	}
+	fbWant := readGoldenFBHashes(t)
+	for _, row := range rows {
 		row := row
 		t.Run(fmt.Sprintf("%s/scale%d/%s", row.scene, row.scale, row.order), func(t *testing.T) {
 			if row.scale == 1 && testing.Short() {
@@ -118,8 +194,12 @@ func TestTraceDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 			trav := goldenTraversal(t, row.order)
+			wantFB, haveFB := fbWant[fmt.Sprintf("%s/%d/%s", row.scene, row.scale, row.order)]
+			if !haveFB {
+				t.Fatalf("no framebuffer hash fixture row (regenerate with -update)")
+			}
 			for _, workers := range determinismWorkerCounts() {
-				tr, _, err := scene.TraceParallel(layout, trav, workers)
+				tr, r, err := scene.TraceParallel(layout, trav, workers)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -131,6 +211,11 @@ func TestTraceDeterminism(t *testing.T) {
 					t.Fatalf("workers=%d: trace hash %s, golden %s — "+
 						"the parallel merge diverged from the serial stream",
 						workers, got, row.hash)
+				}
+				if got := fbHash(r); got != wantFB {
+					t.Fatalf("workers=%d: framebuffer hash %s, golden %s — "+
+						"the tile pass diverged from the serial image",
+						workers, got, wantFB)
 				}
 			}
 		})
