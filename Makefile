@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and every PR) must keep green.
-.PHONY: ci vet gofmt build staticcheck deprecated test golden cover bench bench-diff bench-check bench-server serve-smoke
+.PHONY: ci vet gofmt build staticcheck deprecated test golden cover bench bench-diff bench-check bench-server serve-smoke shard-smoke
 
-ci: vet gofmt build staticcheck deprecated test cover bench-check serve-smoke
+ci: vet gofmt build staticcheck deprecated test cover bench-check serve-smoke shard-smoke
 
 vet:
 	go vet ./...
@@ -62,7 +62,7 @@ golden:
 # packages: raise a floor when coverage improves, never lower it.
 cover:
 	@set -e; \
-	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ./internal/trace:90.0 ./internal/pipeline:85.0 ./internal/parallel:85.0 ; do \
+	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ./internal/trace:90.0 ./internal/pipeline:85.0 ./internal/parallel:85.0 ./internal/cost:95.0 ./internal/shard:85.0 ; do \
 		pkg=$${pf%:*} ; floor=$${pf#*:} ; \
 		pct=$$(go test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p') ; \
 		echo "coverage $$pkg: $$pct% (floor $$floor%)" ; \
@@ -75,7 +75,7 @@ cover:
 # pair measures the tile-parallel render path against the serial scan;
 # the TraceEncode/TraceDecode pair and the TraceStore cold/warm pair
 # track the compact trace codec and the persistent store.
-BENCH_REGEX = BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore|BenchmarkArch
+BENCH_REGEX = BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore|BenchmarkArch|BenchmarkShardedGrid
 
 bench:
 	go test -run '^$$' -bench '$(BENCH_REGEX)' \
@@ -88,10 +88,19 @@ bench:
 # host when touching the simulator's hot paths, and `make bench` to
 # re-baseline when a slowdown is intended.
 BENCH_DIFF_OUT ?= /tmp/texcache-bench-new.json
+BENCH_SERVER_DIFF_OUT ?= /tmp/texcache-bench-server-new.json
 bench-diff:
 	go test -run '^$$' -bench '$(BENCH_REGEX)' \
 		-benchmem -count 1 . | go run ./cmd/benchjson -o $(BENCH_DIFF_OUT)
 	go run ./cmd/benchdiff BENCH_engine.json $(BENCH_DIFF_OUT)
+	rm -f $(BENCH_SERVER_DIFF_OUT)
+	TEXSERVE_BENCH_OUT=$(BENCH_SERVER_DIFF_OUT) \
+		go test -count=1 -run 'TestServerWarmSpeedup' ./cmd/texserve
+	@if [ -s $(BENCH_SERVER_DIFF_OUT) ] ; then \
+		go run ./cmd/benchdiff -server BENCH_server.json $(BENCH_SERVER_DIFF_OUT) ; \
+	else \
+		echo "server gate skipped (no new BENCH_server metrics); server diff not run" ; \
+	fi
 
 # bench-check gates the performance claims: the grouped simulator must
 # beat per-configuration serial simulation by at least 2x on the
@@ -101,11 +110,12 @@ bench-diff:
 # (renders coalesced to the distinct-key count either way), and the
 # prefetching texture-unit pipeline must beat the blocking baseline by
 # at least 1.5x in simulated cycles at 100 cycles of memory latency on
-# every benchmark scene. The timing gates are plain tests (skipped
-# under -short and under -race); the cycle gate is exact and runs
-# everywhere.
+# every benchmark scene, and n=NumCPU coordinated shard workers must
+# beat one worker process by at least 1.5x on a warm trace store. The
+# timing gates are plain tests (skipped under -short and under -race);
+# the cycle gate is exact and runs everywhere.
 bench-check:
-	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup|TestArchLatencyTolerance|TestTraceGenParallelSpeedup|TestBatchReplaySpeedup' .
+	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup|TestArchLatencyTolerance|TestTraceGenParallelSpeedup|TestBatchReplaySpeedup|TestShardScaling' .
 	go test -count=1 -run 'TestServerWarmSpeedup' ./cmd/texserve
 
 # bench-server reruns the texserve saturation gate and records its
@@ -135,3 +145,22 @@ serve-smoke:
 	"$$tmp/texload" -url "http://$$addr" -clients 2 -n 4 -tenant smoke-arch \
 		-scene goblet -arch both -scale 8 || { cat "$$tmp/server.log"; exit 1 ; } ; \
 	echo "serve-smoke ok"
+
+# shard-smoke is the multi-process end-to-end check for the sweep
+# coordinator: a tiny grid runs once unsharded and once as two real
+# worker processes sharing a temp trace store, and the merged stream
+# must be byte-identical to the single-process run.
+shard-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d) ; \
+	trap 'rm -rf "$$tmp"' EXIT ; \
+	go build -o "$$tmp/texsim" ./cmd/texsim ; \
+	printf '%s' '{"scenes":["flight","town"],"scales":[8],"configs":[{"size_bytes":2048,"ways":1,"line_bytes":64},{"size_bytes":8192,"ways":2,"line_bytes":64}]}' \
+		> "$$tmp/grid.json" ; \
+	"$$tmp/texsim" -grid "$$tmp/grid.json" -scale 8 -trace-dir "$$tmp/traces" \
+		> "$$tmp/plain.ndjson" 2>/dev/null ; \
+	"$$tmp/texsim" -grid "$$tmp/grid.json" -scale 8 -coordinate 2 -trace-dir "$$tmp/traces" \
+		> "$$tmp/merged.ndjson" 2>/dev/null ; \
+	cmp "$$tmp/plain.ndjson" "$$tmp/merged.ndjson" || { \
+		echo "coordinated output differs from single-process run" ; exit 1 ; } ; \
+	echo "shard-smoke ok"

@@ -10,6 +10,13 @@
 // committed baseline turns into a regression gate (`make bench-diff`).
 // Benchmarks present on only one side are reported but never fail —
 // baselines grow as benchmarks are added.
+//
+// With -server the inputs are flat metric maps instead (the
+// BENCH_server.json shape `make bench-server` records): every numeric
+// metric present on both sides is listed, and the throughput gates —
+// cold_rps, warm_rps, warm_over_cold_speedup, where bigger is better —
+// fail when the new value drops more than -threshold percent below the
+// baseline.
 package main
 
 import (
@@ -44,6 +51,7 @@ type Doc struct {
 func main() {
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
 	gate := flag.String("gate", defaultGate, "regexp of benchmark names the threshold applies to")
+	server := flag.Bool("server", false, "diff flat server metric maps (BENCH_server.json) instead of benchjson documents")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
 		flag.PrintDefaults()
@@ -52,6 +60,27 @@ func main() {
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *server {
+		oldM, err := readFlat(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		curM, err := readFlat(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		regressions := diffServer(os.Stdout, oldM, curM, *threshold)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d gated server metric(s) regressed more than %.0f%%:\n", len(regressions), *threshold)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		return
 	}
 	gateRe, err := regexp.Compile(*gate)
 	if err != nil {
@@ -76,6 +105,81 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// serverGates are the BENCH_server.json metrics the threshold enforces.
+// All are throughputs or speedups: bigger is better, so a regression is
+// the new value falling below the baseline.
+var serverGates = []string{"cold_rps", "warm_rps", "warm_over_cold_speedup"}
+
+// readFlat loads a flat JSON object, keeping its numeric fields.
+func readFlat(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			m[k] = f
+		}
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no numeric metrics", path)
+	}
+	return m, nil
+}
+
+// diffServer prints the server-metric comparison and returns every
+// gated metric that dropped more than threshold percent.
+func diffServer(w io.Writer, old, cur map[string]float64, threshold float64) []string {
+	gated := make(map[string]bool, len(serverGates))
+	for _, g := range serverGates {
+		gated[g] = true
+	}
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regressions []string
+	for _, k := range keys {
+		o, ok := old[k]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %14s -> %12.2f  (new)\n", k, "-", cur[k])
+			continue
+		}
+		c := cur[k]
+		var pct float64
+		if o != 0 {
+			pct = (c/o - 1) * 100
+		}
+		mark := ""
+		if gated[k] {
+			mark = "  [gated]"
+			if o > 0 && pct < -threshold {
+				mark = "  [REGRESSED]"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.2f -> %.2f (%+.1f%%)", k, o, c, pct))
+			}
+		}
+		fmt.Fprintf(w, "%-24s %12.2f -> %12.2f  %+6.1f%%%s\n", k, o, c, pct, mark)
+	}
+	var gone []string
+	for k := range old {
+		if _, ok := cur[k]; !ok {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Fprintf(w, "%-24s %12.2f -> %14s          (missing from new run)\n", k, old[k], "-")
+	}
+	return regressions
 }
 
 func readDoc(path string) (*Doc, error) {

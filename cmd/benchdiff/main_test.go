@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -84,5 +86,64 @@ func TestDefaultGateCoversBenchCheckPaths(t *testing.T) {
 		if re.MatchString(name) {
 			t.Errorf("default gate unexpectedly covers %s", name)
 		}
+	}
+}
+
+// TestDiffServer drives the -server flat-metric mode: throughput gates
+// are bigger-is-better, latency metrics report but never fail, new and
+// missing metrics are listed.
+func TestDiffServer(t *testing.T) {
+	old := map[string]float64{
+		"cold_rps": 60, "warm_rps": 170, "warm_over_cold_speedup": 2.8,
+		"warm_p99_ms": 100, "gone_metric": 1,
+	}
+	cur := map[string]float64{
+		"cold_rps": 58, "warm_rps": 180, "warm_over_cold_speedup": 3.1,
+		"warm_p99_ms": 500, "new_metric": 1,
+	}
+	var sb strings.Builder
+	regs := diffServer(&sb, old, cur, 15)
+	out := sb.String()
+	if len(regs) != 0 {
+		t.Fatalf("within-threshold diff regressed: %v\n%s", regs, out)
+	}
+	for _, want := range []string{"[gated]", "(new)", "(missing from new run)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("server diff output missing %q:\n%s", want, out)
+		}
+	}
+	// warm_p99_ms quintupled but is not gated: still no failure above.
+
+	cur["warm_rps"] = 100 // -41%: past the 15% gate
+	regs = diffServer(&sb, old, cur, 15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "warm_rps") {
+		t.Fatalf("want one warm_rps regression, got %v", regs)
+	}
+	// A throughput gain is never a regression, no matter how large.
+	cur["warm_rps"] = 1000
+	if regs := diffServer(&sb, old, cur, 15); len(regs) != 0 {
+		t.Fatalf("throughput gain flagged as regression: %v", regs)
+	}
+}
+
+// TestReadFlat pins the flat-map loader against the recorded
+// BENCH_server.json shape.
+func TestReadFlat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "server.json")
+	if err := os.WriteFile(path, []byte(`{"cold_rps": 60.5, "note": "text", "warm_renders": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readFlat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["cold_rps"] != 60.5 || len(m) != 2 {
+		t.Errorf("readFlat = %v, want cold_rps and warm_renders only", m)
+	}
+	if err := os.WriteFile(path, []byte(`{"note": "text"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFlat(path); err == nil {
+		t.Error("all-text map should fail: nothing to compare")
 	}
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -115,6 +117,61 @@ func TestHandlerList(t *testing.T) {
 	want := texcache.ExperimentIDs()
 	if len(body.Experiments) != len(want) {
 		t.Errorf("listed %d experiments, registry has %d", len(body.Experiments), len(want))
+	}
+}
+
+// TestHandlerGrid pins grid requests over HTTP: the response body is
+// byte-identical to the engine's row stream for the same request — the
+// server streams rows only, like a -shard worker; frontier computation
+// belongs to whoever owns the full view (a coordinating client).
+func TestHandlerGrid(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 1})
+	body := `{"scale":8,"grid":{"scenes":["town"],"configs":[` +
+		`{"size_bytes":2048,"line_bytes":64,"ways":1},` +
+		`{"size_bytes":8192,"line_bytes":64,"ways":2}]}}`
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid request status = %d, want 200", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var req texcache.ExperimentRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	results, err := texcache.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := texcache.WriteResultsNDJSON(&want, results, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("grid response differs from engine stream:\n--- server ---\n%s\n--- engine ---\n%s", got, want.Bytes())
+	}
+	if bytes.Contains(got, []byte(`"exp":"pareto"`)) {
+		t.Error("server stream contains frontier lines; those belong to the full-view owner")
+	}
+
+	// Shard slices work over the wire too: each worker's rows are a
+	// subset the coordinator can merge.
+	shardBody := `{"scale":8,"grid":{"scenes":["town"],"configs":[` +
+		`{"size_bytes":2048,"line_bytes":64,"ways":1}]},"shard":{"index":1,"count":2}}`
+	resp2, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(shardBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("sharded grid request status = %d, want 200", resp2.StatusCode)
 	}
 }
 

@@ -38,6 +38,23 @@
 // -render-workers, -grouped) are rejected alongside -request: the file
 // is the whole request.
 //
+// -grid runs a design-space cross-product from a JSON file ("-" for
+// stdin) naming scene/scale/layout/traversal/config axes; output is
+// always NDJSON — one row per (trace, config) unit with its classified
+// misses and hardware cost, then the Pareto frontier of miss rate
+// against cost ("exp":"pareto" lines). -coordinate n fans the grid out
+// over n worker processes sharing one trace store and merges their
+// streams byte-identically to the single-process run; -shard i/n runs
+// one worker's deterministic slice alone, emitting rows only. -prune
+// skips design points provably dominated on the measured plane (the
+// frontier never changes), and -frontier FILE persists measured points
+// so later runs prune against them.
+//
+//	texsim -grid grid.json                      # whole grid, one process
+//	texsim -grid grid.json -coordinate 4 -trace-dir .traces
+//	texsim -grid grid.json -shard 0/4 -trace-dir .traces
+//	texsim -grid grid.json -prune -frontier frontier.ndjson
+//
 // -trace-dir keeps every rendered texel trace in a content-addressed,
 // checksummed store under the given directory (created if needed): a
 // second run with the same flags loads the stored traces and skips
@@ -75,6 +92,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -98,6 +116,30 @@ type flags struct {
 	arch        string
 	archFIFO    int
 	archLatency int
+	gridFile    string
+	shard       string
+	coordinate  int
+	prune       bool
+	frontier    string
+}
+
+// parseShard parses the -shard i/n worker-slice syntax. Range errors
+// (i >= n, n < 1) are left to the shared request validator so the CLI
+// and the server reject them identically.
+func parseShard(s string) (texcache.RequestShard, error) {
+	iStr, nStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return texcache.RequestShard{}, fmt.Errorf("-shard %q: want i/n (e.g. 0/4)", s)
+	}
+	i, err := strconv.Atoi(iStr)
+	if err != nil {
+		return texcache.RequestShard{}, fmt.Errorf("-shard %q: bad index: %v", s, err)
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		return texcache.RequestShard{}, fmt.Errorf("-shard %q: bad count: %v", s, err)
+	}
+	return texcache.RequestShard{Index: i, Count: n}, nil
 }
 
 // buildRequest maps the experiment-selection flags onto the shared
@@ -105,6 +147,59 @@ type flags struct {
 // request is exactly what texcache.Run (and texserve) consume; all
 // validation happens in the shared api validator, not here.
 func buildRequest(f flags, stdin io.Reader) (texcache.ExperimentRequest, error) {
+	if f.gridFile == "" {
+		switch {
+		case f.shard != "":
+			return texcache.ExperimentRequest{}, errors.New("-shard needs a -grid to slice")
+		case f.coordinate != 0:
+			return texcache.ExperimentRequest{}, errors.New("-coordinate needs a -grid to fan out")
+		case f.prune:
+			return texcache.ExperimentRequest{}, errors.New("-prune applies only to -grid runs")
+		case f.frontier != "":
+			return texcache.ExperimentRequest{}, errors.New("-frontier applies only to -grid runs")
+		}
+	}
+	if f.gridFile != "" {
+		if f.id != "" || f.arch != "" || f.requestFile != "" || f.scenes != "" {
+			return texcache.ExperimentRequest{}, errors.New("-grid replaces -exp/-scenes/-arch/-request; the grid file names its own axes")
+		}
+		if f.frontier != "" && !f.prune {
+			return texcache.ExperimentRequest{}, errors.New("-frontier requires -prune")
+		}
+		if f.coordinate < 0 {
+			return texcache.ExperimentRequest{}, fmt.Errorf("-coordinate %d: worker count must be >= 1", f.coordinate)
+		}
+		r := stdin
+		if f.gridFile != "-" {
+			file, err := os.Open(f.gridFile)
+			if err != nil {
+				return texcache.ExperimentRequest{}, err
+			}
+			defer file.Close()
+			r = file
+		}
+		var grid texcache.RequestGrid
+		if err := json.NewDecoder(r).Decode(&grid); err != nil {
+			return texcache.ExperimentRequest{}, fmt.Errorf("parsing %s: %w", f.gridFile, err)
+		}
+		req := texcache.ExperimentRequest{
+			Scale:         f.scale,
+			Workers:       f.workers,
+			RenderWorkers: f.renderW,
+			Grid:          &grid,
+		}
+		if f.shard != "" {
+			if f.coordinate != 0 {
+				return texcache.ExperimentRequest{}, errors.New("-shard and -coordinate are mutually exclusive: the coordinator assigns shards itself")
+			}
+			sl, err := parseShard(f.shard)
+			if err != nil {
+				return texcache.ExperimentRequest{}, err
+			}
+			req.Shard = &sl
+		}
+		return req, nil
+	}
 	if f.requestFile != "" {
 		if f.id != "" || f.scenes != "" || f.arch != "" {
 			return texcache.ExperimentRequest{}, errors.New("-request replaces -exp/-scenes/-arch; drop them")
@@ -173,17 +268,26 @@ func run() int {
 	flag.StringVar(&f.arch, "arch", "", "compare cycle-level texture-unit pipelines (blocking, prefetch or both) over the single -scenes scene")
 	flag.IntVar(&f.archFIFO, "arch-fifo", 0, "fragment FIFO depth in fragments for -arch (0 = the paper's 64)")
 	flag.IntVar(&f.archLatency, "arch-latency", 0, "memory fill latency in cycles for -arch (0 = the paper's 100)")
+	flag.StringVar(&f.gridFile, "grid", "", "run a design-space grid from this JSON file ('-' = stdin): axes scenes/scales/layouts/traversals/configs, output is NDJSON rows plus a Pareto frontier")
+	flag.StringVar(&f.shard, "shard", "", "run only this worker slice of the -grid, as i/n (e.g. 2/8); rows only, no frontier")
+	flag.IntVar(&f.coordinate, "coordinate", 0, "spawn this many texsim worker processes over the -grid, sharing one trace store, and merge their streams into the canonical order")
+	flag.BoolVar(&f.prune, "prune", false, "skip -grid design points provably dominated on the miss-rate/cost frontier (the reported frontier is identical)")
+	flag.StringVar(&f.frontier, "frontier", "", "persist measured frontier points in this NDJSON file across -prune runs (requires -prune)")
 	traceDir := flag.String("trace-dir", "", "persist rendered traces in this directory and reuse them across runs (output is identical)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	if *list || (f.id == "" && f.requestFile == "" && f.arch == "") {
+	// Grid-only flags without -grid are not "no work": fall through so
+	// buildRequest can say which flag needs the -grid.
+	noWork := f.id == "" && f.requestFile == "" && f.arch == "" && f.gridFile == "" &&
+		f.shard == "" && f.coordinate == 0 && !f.prune && f.frontier == ""
+	if *list || noWork {
 		fmt.Println("experiments:")
 		for _, eid := range texcache.ExperimentIDs() {
 			fmt.Printf("  %s\n", eid)
 		}
-		if f.id == "" && f.requestFile == "" && f.arch == "" && !*list {
+		if noWork && !*list {
 			return 2
 		}
 		return 0
@@ -199,6 +303,12 @@ func run() int {
 	if err := texcache.ValidateRequest(texcache.NormalizeRequest(req)); err != nil {
 		fmt.Fprintln(os.Stderr, "texsim:", err)
 		return 2
+	}
+
+	if f.coordinate > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		return coordinate(ctx, f, texcache.NormalizeRequest(req), *traceDir)
 	}
 
 	if *cpuProf != "" {
@@ -249,6 +359,12 @@ func run() int {
 	if *traceDir != "" {
 		opts = append(opts, texcache.WithTraceDir(*traceDir))
 	}
+	if f.prune {
+		opts = append(opts, texcache.WithPruning(true))
+		if f.frontier != "" {
+			opts = append(opts, texcache.WithFrontierFile(f.frontier))
+		}
+	}
 	if *progress {
 		opts = append(opts, texcache.WithProgress(func(p texcache.ExperimentProgress) {
 			status := "ok"
@@ -267,6 +383,32 @@ func run() int {
 	}
 
 	var firstErr error
+	if req.Grid != nil {
+		// Grid output is always NDJSON. A full (unsharded) run owns the
+		// whole view, so it tees the stream through a collector and
+		// appends the Pareto frontier; a -shard worker emits rows only —
+		// the coordinator appends the frontier after its merge, from the
+		// same collector logic, which keeps the bytes identical.
+		var out io.Writer = os.Stdout
+		var col *texcache.GridCollector
+		if req.Shard == nil {
+			col = texcache.NewGridCollector()
+			out = io.MultiWriter(os.Stdout, col)
+		}
+		firstErr = texcache.WriteResultsNDJSON(out, results, func(r texcache.ExperimentResult) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "texsim: %s: %v\n", r.ID, r.Err)
+			}
+		})
+		if col != nil && firstErr == nil {
+			firstErr = col.WriteFrontier(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "texsim: summary: %s\n", reg.SummaryLine())
+		if firstErr != nil {
+			return fail(firstErr)
+		}
+		return 0
+	}
 	if *jsonOut {
 		// Pure NDJSON on stdout, the exact bytes texserve streams for
 		// this request; failures go to stderr only.

@@ -65,6 +65,82 @@ func TestBuildRequest(t *testing.T) {
 	}
 }
 
+// TestBuildRequestGrid pins the -grid/-shard/-coordinate/-prune flag
+// surface: shape errors (malformed -shard syntax, flags without a grid)
+// fail locally, range errors (i >= n, n < 1) flow through the same
+// shared validator texserve uses, and both exit 2.
+func TestBuildRequestGrid(t *testing.T) {
+	const grid = `{"scenes":["town"],"configs":[{"size_bytes":2048,"ways":1,"line_bytes":64}]}`
+	cases := []struct {
+		name    string
+		f       flags
+		stdin   string
+		wantErr string
+	}{
+		{name: "plain grid", f: flags{gridFile: "-", scale: 2, grouped: true}, stdin: grid},
+		{name: "worker slice", f: flags{gridFile: "-", shard: "1/4", scale: 2, grouped: true}, stdin: grid},
+		{name: "last slice", f: flags{gridFile: "-", shard: "3/4", scale: 2, grouped: true}, stdin: grid},
+		{name: "coordinate", f: flags{gridFile: "-", coordinate: 2, scale: 2, grouped: true}, stdin: grid},
+		{name: "prune with frontier", f: flags{gridFile: "-", prune: true, frontier: "f.ndjson", scale: 2, grouped: true}, stdin: grid},
+		{name: "shard missing slash", f: flags{gridFile: "-", shard: "2", scale: 2, grouped: true}, stdin: grid, wantErr: "want i/n"},
+		{name: "shard non-numeric", f: flags{gridFile: "-", shard: "a/b", scale: 2, grouped: true}, stdin: grid, wantErr: "bad index"},
+		{name: "shard non-numeric count", f: flags{gridFile: "-", shard: "0/b", scale: 2, grouped: true}, stdin: grid, wantErr: "bad count"},
+		{name: "shard zero count", f: flags{gridFile: "-", shard: "0/0", scale: 2, grouped: true}, stdin: grid, wantErr: "shard.count"},
+		{name: "shard negative index", f: flags{gridFile: "-", shard: "-1/2", scale: 2, grouped: true}, stdin: grid, wantErr: "shard.index"},
+		{name: "shard index at count", f: flags{gridFile: "-", shard: "2/2", scale: 2, grouped: true}, stdin: grid, wantErr: "shard.index"},
+		{name: "shard index past count", f: flags{gridFile: "-", shard: "3/2", scale: 2, grouped: true}, stdin: grid, wantErr: "shard.index"},
+		{name: "shard plus coordinate", f: flags{gridFile: "-", shard: "0/2", coordinate: 2, scale: 2, grouped: true}, stdin: grid, wantErr: "mutually exclusive"},
+		{name: "shard without grid", f: flags{id: "all", shard: "0/2", scale: 2, grouped: true}, wantErr: "-shard needs a -grid"},
+		{name: "coordinate without grid", f: flags{id: "all", coordinate: 2, scale: 2, grouped: true}, wantErr: "-coordinate needs a -grid"},
+		{name: "prune without grid", f: flags{id: "all", prune: true, scale: 2, grouped: true}, wantErr: "-prune applies only"},
+		{name: "frontier without grid", f: flags{id: "all", frontier: "f.ndjson", scale: 2, grouped: true}, wantErr: "-frontier applies only"},
+		{name: "frontier without prune", f: flags{gridFile: "-", frontier: "f.ndjson", scale: 2, grouped: true}, stdin: grid, wantErr: "-frontier requires -prune"},
+		{name: "negative coordinate", f: flags{gridFile: "-", coordinate: -1, scale: 2, grouped: true}, stdin: grid, wantErr: "-coordinate"},
+		{name: "grid plus exp", f: flags{gridFile: "-", id: "all", scale: 2, grouped: true}, stdin: grid, wantErr: "-grid replaces"},
+		{name: "grid plus arch", f: flags{gridFile: "-", arch: "both", scale: 2, grouped: true}, stdin: grid, wantErr: "-grid replaces"},
+		{name: "grid plus request", f: flags{gridFile: "-", requestFile: "-", scale: 2, grouped: true}, stdin: grid, wantErr: "-grid replaces"},
+		{name: "grid plus scenes", f: flags{gridFile: "-", scenes: "town", scale: 2, grouped: true}, stdin: grid, wantErr: "-grid replaces"},
+		{name: "bad grid json", f: flags{gridFile: "-", scale: 2, grouped: true}, stdin: `{"scenes":`, wantErr: "parsing"},
+		{name: "grid no configs", f: flags{gridFile: "-", scale: 2, grouped: true}, stdin: `{"scenes":["town"]}`, wantErr: "grid.configs"},
+		{name: "grid unknown scene", f: flags{gridFile: "-", scale: 2, grouped: true},
+			stdin: `{"scenes":["nowhere"],"configs":[{"size_bytes":2048,"ways":1,"line_bytes":64}]}`, wantErr: "grid.scenes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := buildRequest(tc.f, strings.NewReader(tc.stdin))
+			if err == nil {
+				err = texcache.ValidateRequest(texcache.NormalizeRequest(req))
+			}
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("buildRequest(%+v) = %v, want nil", tc.f, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("buildRequest(%+v) = nil error, want one naming %q", tc.f, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseShard pins the i/n syntax parser shared by workers and the
+// coordinator's spawn loop.
+func TestParseShard(t *testing.T) {
+	sl, err := parseShard("3/8")
+	if err != nil || sl.Index != 3 || sl.Count != 8 {
+		t.Fatalf("parseShard(3/8) = %+v, %v", sl, err)
+	}
+	for _, bad := range []string{"", "3", "/", "x/2", "2/y", "1.5/4"} {
+		if _, err := parseShard(bad); err == nil {
+			t.Errorf("parseShard(%q) = nil error, want parse failure", bad)
+		}
+	}
+}
+
 // TestBuildRequestMapping spot-checks field mapping details.
 func TestBuildRequestMapping(t *testing.T) {
 	req, err := buildRequest(flags{id: "fig5.2,fig5.7", scale: 4, scenes: "town,guitar", grouped: false}, nil)

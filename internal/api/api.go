@@ -45,7 +45,7 @@ const (
 const DefaultScale = 2
 
 // ExperimentRequest is the single description of a unit of simulation
-// work. It comes in three kinds, discriminated by Kind():
+// work. It comes in four kinds, discriminated by Kind():
 //
 //   - KindExperiments regenerates registered paper experiments:
 //     Experiments names the IDs (empty = all), Scenes optionally
@@ -58,6 +58,9 @@ const DefaultScale = 2
 //     cycle-level texture-unit pipelines instead: Architecture selects
 //     blocking and/or prefetching organizations and their timing, and
 //     Configs optionally overrides the cache design point.
+//   - KindGrid enumerates the cross-product of Grid's axes into
+//     deterministic work units and replays each (trace, config) point,
+//     optionally sliced by Shard for multi-process runs.
 //
 // The zero value of every optional field means "the default": Scale 0
 // is DefaultScale, a nil Layout is the paper's 8x8 blocked
@@ -96,6 +99,17 @@ type ExperimentRequest struct {
 	// texture-unit pipelines instead of plain cache replay.
 	Architecture *Architecture `json:"architecture,omitempty"`
 
+	// Grid, when present, makes the request a design-space exploration:
+	// the cross-product of its axes is enumerated into deterministic,
+	// content-addressed work units (see internal/shard) and every
+	// (trace, config) unit is replayed. Exclusive with the single-point
+	// scene/layout/traversal/configs fields and with Architecture.
+	Grid *Grid `json:"grid,omitempty"`
+	// Shard, when present on a grid request, restricts the run to the
+	// deterministic 1/Count slice of trace groups assigned to Index, so
+	// n worker processes cover the grid exactly once between them.
+	Shard *Shard `json:"shard,omitempty"`
+
 	// Scale divides screen and texture resolution; 1 is the paper's full
 	// size, 0 means DefaultScale.
 	Scale int `json:"scale,omitempty"`
@@ -122,11 +136,19 @@ const (
 	// KindArchitecture runs one scene trace through the cycle-level
 	// texture-unit pipelines (blocking vs prefetching).
 	KindArchitecture
+	// KindGrid enumerates a design-space cross-product into
+	// content-addressed units and replays every (trace, config) point,
+	// optionally restricted to one shard's slice.
+	KindGrid
 )
 
-// Kind reports which shape the request has: an Architecture block makes
-// it an architecture comparison, any other sweep-only field a sweep.
+// Kind reports which shape the request has: a Grid block makes it a
+// design-space exploration, an Architecture block an architecture
+// comparison, any other sweep-only field a sweep.
 func (r ExperimentRequest) Kind() RequestKind {
+	if r.Grid != nil {
+		return KindGrid
+	}
 	if r.Architecture != nil {
 		return KindArchitecture
 	}
@@ -583,7 +605,12 @@ func Validate(r ExperimentRequest) error {
 			return err
 		}
 	}
+	if r.Shard != nil && r.Grid == nil {
+		return badRequest("shard", "shard selection requires a grid request")
+	}
 	switch r.Kind() {
+	case KindGrid:
+		return validateGrid(r)
 	case KindArchitecture:
 		return validateArchitecture(r)
 	case KindSweep:

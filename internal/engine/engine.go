@@ -86,6 +86,16 @@ type Options struct {
 	// renders) across many engines. RenderWorkers and TraceDir are
 	// ignored when it is set.
 	Traces exp.TraceProvider
+	// Prune enables Pareto-dominance pruning on grid requests: design
+	// points provably dominated by an already-measured point (see
+	// internal/shard) are skipped instead of replayed. Lossless for the
+	// reported frontier; the skipped rows are simply absent.
+	Prune bool
+	// FrontierFile, when non-empty and Prune is set, persists measured
+	// frontier points to this append-only NDJSON file and preloads any
+	// points already in it, so re-runs (and a coordinator's workers
+	// sharing the path) skip points earlier measurements dominate.
+	FrontierFile string
 }
 
 // Option mutates Options.
@@ -113,6 +123,14 @@ func WithTraceDir(dir string) Option { return func(o *Options) { o.TraceDir = di
 func WithSweepMode(m exp.SweepMode) Option {
 	return func(o *Options) { o.Sweep, o.sweepSet = m, true }
 }
+
+// WithPruning toggles Pareto-dominance pruning for grid requests.
+func WithPruning(on bool) Option { return func(o *Options) { o.Prune = on } }
+
+// WithFrontierFile persists (and preloads) measured frontier points in
+// the given append-only NDJSON file during pruned grid runs; empty
+// disables persistence.
+func WithFrontierFile(path string) Option { return func(o *Options) { o.FrontierFile = path } }
 
 // WithTraces installs a shared trace provider on the engine: every batch
 // run without its own Config.Traces uses it instead of a fresh

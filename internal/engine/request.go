@@ -36,6 +36,8 @@ func (e *Engine) RunRequest(ctx context.Context, req api.ExperimentRequest) (<-c
 		return nil, err
 	}
 	switch req.Kind() {
+	case api.KindGrid:
+		return e.runGrid(ctx, req)
 	case api.KindArchitecture:
 		return e.runArchitecture(ctx, req)
 	case api.KindSweep:

@@ -59,9 +59,10 @@ type TraceCache struct {
 	// call.
 	Store *trace.Store
 
-	mu      sync.Mutex
-	entries map[traceCacheKey]*traceEntry
-	renders int // number of actual renders performed, for tests/metrics
+	mu        sync.Mutex
+	entries   map[traceCacheKey]*traceEntry
+	renders   int // number of actual renders performed, for tests/metrics
+	storeHits int // number of loads served by the persistent tier
 }
 
 // NewTraceCache returns an empty trace cache.
@@ -76,6 +77,15 @@ func (tc *TraceCache) Renders() int {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	return tc.renders
+}
+
+// StoreHits reports how many trace requests the persistent tier served
+// without a render — the warm-store number a sharded re-run's "rendered
+// nothing" claim rests on.
+func (tc *TraceCache) StoreHits() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.storeHits
 }
 
 // SceneTrace returns the address stream for key at the given scale,
@@ -124,6 +134,9 @@ func (tc *TraceCache) produce(ctx context.Context, ck traceCacheKey) (cache.Addr
 	reg := obs.Default().Sub("engine").Sub("trace_cache")
 	if tc.Store != nil {
 		if c, ok := tc.Store.Load(storeKey(ck)); ok {
+			tc.mu.Lock()
+			tc.storeHits++
+			tc.mu.Unlock()
 			reg.Counter("store_hits").Inc()
 			return c, nil
 		}
