@@ -26,24 +26,14 @@ staticcheck:
 	fi
 
 # Deprecated symbols are a one-PR migration device, not a parking lot:
-# they may live only in the root facade (texcache.go), every marker must
-# point at its replacement ("Use ..."), and the following PR deletes
-# them. Anywhere else in the tree they remain banned outright. This is
-# the grep half of staticcheck's SA1019 discipline and runs even where
-# staticcheck is not installed.
+# the facade's wrapper generation has been migrated and deleted, so the
+# tree now carries no markers at all — a new one may appear only
+# alongside its replacement and must be gone by the following PR. This
+# is the grep half of staticcheck's SA1019 discipline and runs even
+# where staticcheck is not installed.
 deprecated:
-	@if grep -rn --include='*.go' '^// Deprecated:' cmd internal examples ; then \
-		echo "deprecated symbols outside the root facade; migrate the callers instead" ; \
-		exit 1 ; \
-	fi
-	@bad=$$(grep -n '^// Deprecated:' texcache.go | grep -v 'Use ') ; \
-	if [ -n "$$bad" ] ; then \
-		echo "deprecated markers must name a replacement (Use ...):" ; \
-		echo "$$bad" ; exit 1 ; \
-	fi
-	@n=$$(grep -c '^// Deprecated:' texcache.go) ; \
-	if [ "$$n" -gt 4 ] ; then \
-		echo "facade carries $$n deprecated markers (max 4); delete migrated wrappers instead of accumulating them" ; \
+	@if grep -rn --include='*.go' '^// Deprecated:' . ; then \
+		echo "deprecated symbols found; migrate the callers and delete the wrappers instead" ; \
 		exit 1 ; \
 	fi
 
@@ -62,7 +52,7 @@ golden:
 # packages: raise a floor when coverage improves, never lower it.
 cover:
 	@set -e; \
-	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ./internal/trace:90.0 ./internal/pipeline:85.0 ./internal/parallel:85.0 ./internal/cost:95.0 ./internal/shard:85.0 ; do \
+	for pf in ./internal/cache:92.0 ./internal/texture:90.0 ./internal/trace:90.0 ./internal/pipeline:85.0 ./internal/parallel:85.0 ./internal/cost:95.0 ./internal/shard:85.0 ./internal/engine:85.0 ; do \
 		pkg=$${pf%:*} ; floor=$${pf#*:} ; \
 		pct=$$(go test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p') ; \
 		echo "coverage $$pkg: $$pct% (floor $$floor%)" ; \
@@ -75,7 +65,7 @@ cover:
 # pair measures the tile-parallel render path against the serial scan;
 # the TraceEncode/TraceDecode pair and the TraceStore cold/warm pair
 # track the compact trace codec and the persistent store.
-BENCH_REGEX = BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore|BenchmarkArch|BenchmarkShardedGrid
+BENCH_REGEX = BenchmarkSerialSweep|BenchmarkGroupedSweep|BenchmarkEngineSweep|BenchmarkEngineBatch|BenchmarkCacheAccess|BenchmarkStackDist|BenchmarkTraceGen|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkTraceStore|BenchmarkArch|BenchmarkShardedGrid|BenchmarkResultCache
 
 bench:
 	go test -run '^$$' -bench '$(BENCH_REGEX)' \
@@ -105,17 +95,19 @@ bench-diff:
 # bench-check gates the performance claims: the grouped simulator must
 # beat per-configuration serial simulation by at least 2x on the
 # acceptance sweep, a warm trace store must run the acceptance batch at
-# least 2x faster than the cold run that populated it, a warm texserve
-# must absorb the saturation burst at least 2x faster than a cold one
-# (renders coalesced to the distinct-key count either way), and the
-# prefetching texture-unit pipeline must beat the blocking baseline by
-# at least 1.5x in simulated cycles at 100 cycles of memory latency on
-# every benchmark scene, and n=NumCPU coordinated shard workers must
-# beat one worker process by at least 1.5x on a warm trace store. The
-# timing gates are plain tests (skipped under -short and under -race);
-# the cycle gate is exact and runs everywhere.
+# least 2x faster than the cold run that populated it, a warm result
+# cache must serve the acceptance batch at least 10x faster than a
+# trace-warm replay, a warm texserve must absorb the saturation burst at
+# least 2x faster than a cold one (renders coalesced to the distinct-key
+# count either way), and the prefetching texture-unit pipeline must beat
+# the blocking baseline by at least 1.5x in simulated cycles at 100
+# cycles of memory latency on every benchmark scene, and n=NumCPU
+# coordinated shard workers must beat one worker process by at least
+# 1.5x on a warm trace store. The timing gates are plain tests (skipped
+# under -short and under -race); the cycle gate is exact and runs
+# everywhere.
 bench-check:
-	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup|TestArchLatencyTolerance|TestTraceGenParallelSpeedup|TestBatchReplaySpeedup|TestShardScaling' .
+	go test -count=1 -run 'TestGroupedSweepSpeedup|TestTraceStoreWarmSpeedup|TestResultCacheWarmSpeedup|TestArchLatencyTolerance|TestTraceGenParallelSpeedup|TestBatchReplaySpeedup|TestShardScaling' .
 	go test -count=1 -run 'TestServerWarmSpeedup' ./cmd/texserve
 
 # bench-server reruns the texserve saturation gate and records its
@@ -127,7 +119,10 @@ bench-server:
 # serve-smoke boots a real texserve on a random port, bursts it with
 # texload (mixed registered-experiment requests) and fails on zero
 # completed requests or any 5xx — the end-to-end liveness check for the
-# server binaries, with the trace store exercised via a temp dir.
+# server binaries, with the trace store exercised via a temp dir. It
+# then posts the same request twice under different tenants and demands
+# byte-identical bodies plus a result-cache hit on /metrics: the repeat
+# must be served from the result store, not re-simulated.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d) ; \
@@ -135,7 +130,8 @@ serve-smoke:
 	go build -o "$$tmp/texserve" ./cmd/texserve ; \
 	go build -o "$$tmp/texload" ./cmd/texload ; \
 	"$$tmp/texserve" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" \
-		-trace-dir "$$tmp/traces" -workers 2 2>"$$tmp/server.log" & \
+		-trace-dir "$$tmp/traces" -result-dir "$$tmp/results" \
+		-workers 2 2>"$$tmp/server.log" & \
 	srv=$$! ; \
 	for i in $$(seq 1 50); do [ -s "$$tmp/addr" ] && break ; sleep 0.1 ; done ; \
 	[ -s "$$tmp/addr" ] || { echo "texserve did not come up:"; cat "$$tmp/server.log"; exit 1 ; } ; \
@@ -144,6 +140,16 @@ serve-smoke:
 		-exp fig5.2 -scenes goblet -scale 8 || { cat "$$tmp/server.log"; exit 1 ; } ; \
 	"$$tmp/texload" -url "http://$$addr" -clients 2 -n 4 -tenant smoke-arch \
 		-scene goblet -arch both -scale 8 || { cat "$$tmp/server.log"; exit 1 ; } ; \
+	"$$tmp/texload" -url "http://$$addr" -tenant smoke -capture "$$tmp/first.ndjson" \
+		-exp table2.1 -scenes goblet -scale 8 || { cat "$$tmp/server.log"; exit 1 ; } ; \
+	"$$tmp/texload" -url "http://$$addr" -tenant smoke2 -capture "$$tmp/second.ndjson" \
+		-exp table2.1 -scenes goblet -scale 8 || { cat "$$tmp/server.log"; exit 1 ; } ; \
+	cmp "$$tmp/first.ndjson" "$$tmp/second.ndjson" || { \
+		echo "repeat response body differs from the first" ; exit 1 ; } ; \
+	"$$tmp/texload" -url "http://$$addr" -get /metrics > "$$tmp/metrics.json" ; \
+	grep -Eq '"engine\.result_cache\.hits": *[1-9]' "$$tmp/metrics.json" || { \
+		echo "repeat request did not hit the result cache:" ; \
+		cat "$$tmp/metrics.json" ; exit 1 ; } ; \
 	echo "serve-smoke ok"
 
 # shard-smoke is the multi-process end-to-end check for the sweep

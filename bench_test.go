@@ -26,11 +26,17 @@ func benchScale() int {
 
 // benchExperiment regenerates one paper artifact per iteration.
 func benchExperiment(b *testing.B, id string) {
-	cfg := texcache.ExperimentConfig{Scale: benchScale()}
+	req := texcache.ExperimentRequest{Experiments: []string{id}, Scale: benchScale()}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := texcache.RunExperiment(id, cfg, io.Discard); err != nil {
+		results, err := texcache.Run(context.Background(), req)
+		if err != nil {
 			b.Fatal(err)
+		}
+		for r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
 		}
 	}
 }
@@ -126,11 +132,14 @@ func BenchmarkGroupedSweep(b *testing.B) {
 // BenchmarkEngineBatch runs a small experiment batch through the full
 // engine (shared trace cache, concurrent experiments).
 func BenchmarkEngineBatch(b *testing.B) {
-	cfg := texcache.ExperimentConfig{Scale: benchScale(), Scenes: []string{"goblet"}}
-	ids := []string{"fig5.7", "replacement", "sectored"}
+	req := texcache.ExperimentRequest{
+		Experiments: []string{"fig5.7", "replacement", "sectored"},
+		Scenes:      []string{"goblet"},
+		Scale:       benchScale(),
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		results, err := texcache.RunExperiments(context.Background(), ids, cfg)
+		results, err := texcache.Run(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,9 +184,12 @@ func BenchmarkTraceDecode(b *testing.B) {
 
 // benchStoreBatch runs the store acceptance batch against dir.
 func benchStoreBatch(b *testing.B, dir string) {
-	cfg := texcache.ExperimentConfig{Scale: benchScale(), Scenes: []string{"goblet"}}
-	results, err := texcache.RunExperiments(context.Background(),
-		[]string{"fig5.2", "fig5.7"}, cfg, texcache.WithTraceDir(dir))
+	req := texcache.ExperimentRequest{
+		Experiments: []string{"fig5.2", "fig5.7"},
+		Scenes:      []string{"goblet"},
+		Scale:       benchScale(),
+	}
+	results, err := texcache.Run(context.Background(), req, texcache.WithTraceDir(dir))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -206,6 +218,45 @@ func BenchmarkTraceStoreWarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchStoreBatch(b, dir)
+	}
+}
+
+// benchResultBatch streams the store batch's NDJSON through the given
+// options, discarding the bytes.
+func benchResultBatch(b *testing.B, opts ...texcache.ExperimentOption) {
+	req := texcache.ExperimentRequest{
+		Experiments: []string{"fig5.2", "fig5.7"},
+		Scenes:      []string{"goblet"},
+		Scale:       benchScale(),
+	}
+	err := texcache.RunNDJSON(context.Background(), req, io.Discard, func(r texcache.ExperimentResult) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResultCacheCold streams the batch with an empty result cache
+// each iteration: full simulation plus the cache's tee overhead.
+func BenchmarkResultCacheCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchResultBatch(b, texcache.WithResultCache(texcache.NewResultCache()))
+	}
+}
+
+// BenchmarkResultCacheWarm streams the same batch from a populated
+// result cache: nothing renders, nothing replays, the stored bytes are
+// written out. The ratio to BenchmarkTraceStoreWarm is the result-tier
+// speedup the TestResultCacheWarmSpeedup gate enforces.
+func BenchmarkResultCacheWarm(b *testing.B) {
+	rc := texcache.NewResultCache()
+	benchResultBatch(b, texcache.WithResultCache(rc)) // populate, untimed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchResultBatch(b, texcache.WithResultCache(rc))
 	}
 }
 

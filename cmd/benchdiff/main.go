@@ -32,7 +32,7 @@ import (
 // defaultGate matches the engine's hot-path benchmarks — the ones whose
 // speedups the bench-check gates enforce, so a silent slowdown there
 // undermines a recorded performance claim.
-const defaultGate = `^(SerialSweep|EngineSweep|GroupedSweep|CacheAccess|CacheAccessBatch|CacheAccessClassifying|StackDist|StackDistBatch|TraceGenSerial|TraceGenParallel|TraceEncode|TraceDecode)$`
+const defaultGate = `^(SerialSweep|EngineSweep|GroupedSweep|CacheAccess|CacheAccessBatch|CacheAccessClassifying|StackDist|StackDistBatch|TraceGenSerial|TraceGenParallel|TraceEncode|TraceDecode|ResultCacheWarm)$`
 
 // Benchmark mirrors benchjson's per-benchmark object.
 type Benchmark struct {

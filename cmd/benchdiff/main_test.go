@@ -76,13 +76,13 @@ func TestDefaultGateCoversBenchCheckPaths(t *testing.T) {
 	for _, name := range []string{
 		"SerialSweep", "GroupedSweep", "EngineSweep",
 		"CacheAccess", "CacheAccessBatch", "StackDist", "StackDistBatch",
-		"TraceGenSerial", "TraceGenParallel",
+		"TraceGenSerial", "TraceGenParallel", "ResultCacheWarm",
 	} {
 		if !re.MatchString(name) {
 			t.Errorf("default gate does not cover %s", name)
 		}
 	}
-	for _, name := range []string{"Fig5_2", "TraceStoreCold", "EngineBatch"} {
+	for _, name := range []string{"Fig5_2", "TraceStoreCold", "EngineBatch", "ResultCacheCold"} {
 		if re.MatchString(name) {
 			t.Errorf("default gate unexpectedly covers %s", name)
 		}

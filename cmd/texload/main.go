@@ -23,10 +23,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -99,6 +102,52 @@ func buildRequest(reqFile, exps, scenes, scene, configs, arch string, scale, ren
 	return json.Marshal(req)
 }
 
+// getToStdout fetches one server path and copies the body to stdout —
+// the scriptable way to read /metrics or /healthz after a burst.
+func getToStdout(base, path string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// captureOne posts the request body once and writes the full response
+// stream to a file, so scripts can compare repeat responses byte for
+// byte (the serve-smoke result-cache check).
+func captureOne(ctx context.Context, base, tenant string, body []byte, outPath string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/experiments", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Texcache-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/experiments: status %d: %s", resp.StatusCode, data)
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
 func run() int {
 	url := flag.String("url", "http://127.0.0.1:8321", "texserve base URL")
 	clients := flag.Int("clients", 4, "concurrent posting clients")
@@ -114,11 +163,20 @@ func run() int {
 	reqFile := flag.String("request", "", "post this wire-form JSON request file instead of building one from flags")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall run deadline")
 	jsonOut := flag.Bool("json", false, "print the stats as JSON instead of a summary line")
+	getPath := flag.String("get", "", "GET this server path (e.g. /metrics), print the body to stdout and exit")
+	capture := flag.String("capture", "", "post the request once and write the response body to this file instead of bursting")
 	flag.Parse()
 
 	if *scene == "" && *configs != "" {
 		fmt.Fprintln(os.Stderr, "texload: -configs needs -scene")
 		return 2
+	}
+	if *getPath != "" {
+		if err := getToStdout(*url, *getPath, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "texload:", err)
+			return 1
+		}
+		return 0
 	}
 	body, err := buildRequest(*reqFile, *exps, *scenes, *scene, *configs, *arch, *scale, *renderW, *tenant)
 	if err != nil {
@@ -130,6 +188,14 @@ func run() int {
 	defer stop()
 	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
+
+	if *capture != "" {
+		if err := captureOne(ctx, *url, *tenant, body, *capture); err != nil {
+			fmt.Fprintln(os.Stderr, "texload:", err)
+			return 1
+		}
+		return 0
+	}
 
 	stats, err := load.Run(ctx, load.Options{
 		BaseURL:  *url,

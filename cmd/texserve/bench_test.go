@@ -47,11 +47,12 @@ const (
 	benchKeys     = 16 // distinct trace keys in benchBodies
 )
 
-// benchRun saturates a fresh server backed by the given trace dir and
-// returns the run stats plus the render count the server performed.
-func benchRun(t testing.TB, dir string) (load.Stats, int) {
+// benchRun saturates a fresh server backed by the given trace and
+// result directories and returns the run stats, the render count and
+// how many simulations the result cache actually ran.
+func benchRun(t testing.TB, dir, resultDir string) (load.Stats, int, int) {
 	t.Helper()
-	s, err := newServer(serverConfig{Workers: 4, Queue: 64, TraceDir: dir})
+	s, err := newServer(serverConfig{Workers: 4, Queue: 64, TraceDir: dir, ResultDir: resultDir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func benchRun(t testing.TB, dir string) (load.Stats, int) {
 	if stats.Completed != benchRequests || stats.ServerErrors > 0 {
 		t.Fatalf("bench run unhealthy: %v", stats)
 	}
-	return stats, s.traces.Renders()
+	return stats, s.traces.Renders(), s.results.Produced()
 }
 
 // serverBench is the BENCH_server.json document.
@@ -85,17 +86,20 @@ type serverBench struct {
 	Speedup     float64 `json:"warm_over_cold_speedup"`
 	ColdRenders int     `json:"cold_renders"`
 	WarmRenders int     `json:"warm_renders"`
+	ColdSims    int     `json:"cold_simulations"`
+	WarmSims    int     `json:"warm_simulations"`
 }
 
 // TestServerWarmSpeedup is the third bench-check gate (`make
 // bench-check`): a 16-client saturation burst against a warm server
-// (trace store populated, every request answered without rendering)
-// must complete at least 2x faster than the cold burst that has to
-// render. It also pins the coalescing acceptance bound — the cold burst
-// performs exactly as many renders as the workload has distinct trace
-// keys (one), never one per request — and, when TEXSERVE_BENCH_OUT is
-// set (`make bench-server`), writes the measured requests/s and
-// latency percentiles to that file.
+// (trace and result stores populated, every request answered as stored
+// bytes) must complete at least 2x faster than the cold burst that has
+// to render. It also pins the coalescing acceptance bounds — the cold
+// burst performs exactly as many renders as the workload has distinct
+// trace keys and as many simulations as distinct result keys, never one
+// per request; the warm burst renders and simulates nothing — and, when
+// TEXSERVE_BENCH_OUT is set (`make bench-server`), writes the measured
+// requests/s and latency percentiles to that file.
 func TestServerWarmSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing gate skipped in -short mode")
@@ -103,9 +107,9 @@ func TestServerWarmSpeedup(t *testing.T) {
 	if raceEnabled {
 		t.Skip("timing gate skipped under the race detector")
 	}
-	warmDir := t.TempDir()
-	if _, renders := benchRun(t, warmDir); renders != benchKeys {
-		// Populate the store, untimed. 2x requests per key, but renders
+	warmDir, warmResults := t.TempDir(), t.TempDir()
+	if _, renders, _ := benchRun(t, warmDir, warmResults); renders != benchKeys {
+		// Populate the stores, untimed. 2x requests per key, but renders
 		// coalesce to the distinct-key count.
 		t.Fatalf("cold renders = %d, want %d (one per distinct trace key)", renders, benchKeys)
 	}
@@ -119,22 +123,28 @@ func TestServerWarmSpeedup(t *testing.T) {
 		}
 		return bestS
 	}
-	var coldRenders, warmRenders int
+	var coldRenders, warmRenders, coldSims, warmSims int
 	cold := best(func() load.Stats {
-		s, r := benchRun(t, t.TempDir()) // fresh dir: really renders
-		coldRenders = r
+		s, r, p := benchRun(t, t.TempDir(), t.TempDir()) // fresh dirs: really simulates
+		coldRenders, coldSims = r, p
 		return s
 	})
 	warm := best(func() load.Stats {
-		s, r := benchRun(t, warmDir) // fresh server, warm store
-		warmRenders = r
+		s, r, p := benchRun(t, warmDir, warmResults) // fresh server, warm stores
+		warmRenders, warmSims = r, p
 		return s
 	})
 	if coldRenders != benchKeys {
 		t.Errorf("cold renders = %d, want %d (coalesced to the distinct key count)", coldRenders, benchKeys)
 	}
+	if coldSims != benchKeys {
+		t.Errorf("cold simulations = %d, want %d (identical requests coalesce)", coldSims, benchKeys)
+	}
 	if warmRenders != 0 {
 		t.Errorf("warm renders = %d, want 0 (served from the store)", warmRenders)
+	}
+	if warmSims != 0 {
+		t.Errorf("warm simulations = %d, want 0 (served from the result store)", warmSims)
 	}
 
 	speedup := float64(cold.Elapsed) / float64(warm.Elapsed)
@@ -150,6 +160,7 @@ func TestServerWarmSpeedup(t *testing.T) {
 			ColdRPS: cold.RPS, ColdP50Ms: ms(cold.P50), ColdP99Ms: ms(cold.P99),
 			WarmRPS: warm.RPS, WarmP50Ms: ms(warm.P50), WarmP99Ms: ms(warm.P99),
 			Speedup: speedup, ColdRenders: coldRenders, WarmRenders: warmRenders,
+			ColdSims: coldSims, WarmSims: warmSims,
 		}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

@@ -12,9 +12,17 @@
 // across tenants, and once a tenant has -queue requests waiting, further
 // ones are rejected with 429 and a Retry-After header.
 //
+// Above the trace cache sits a shared result cache: the finished NDJSON
+// stream of each request is memoized by its canonical content key, so a
+// repeated request skips rendering AND replay and is served the stored
+// bytes (byte-identical to a fresh run). The cache is shared across
+// tenants — results are pure functions of the request — and -result-dir
+// persists finished streams across restarts. Grid requests bypass it:
+// their row set depends on pruning frontier state.
+//
 // Usage:
 //
-//	texserve -addr :8321 -trace-dir /var/cache/texcache
+//	texserve -addr :8321 -trace-dir /var/cache/texcache -result-dir /var/cache/texresults
 //	texserve -addr 127.0.0.1:0 -addr-file /tmp/texserve.addr
 //
 // Endpoints:
@@ -59,6 +67,7 @@ func run() int {
 	queue := flag.Int("queue", 16, "queued requests allowed per tenant before 429")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After interval advertised on 429 responses")
 	traceDir := flag.String("trace-dir", "", "persist rendered traces in this directory across requests and restarts")
+	resultDir := flag.String("result-dir", "", "persist finished result streams in this directory; repeat requests are served without re-simulating")
 	renderWorkers := flag.Int("render-workers", 0, "tile-parallel rasterization workers per render (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
@@ -73,6 +82,7 @@ func run() int {
 		Queue:         *queue,
 		RetryAfter:    *retryAfter,
 		TraceDir:      *traceDir,
+		ResultDir:     *resultDir,
 		RenderWorkers: *renderWorkers,
 	})
 	if err != nil {

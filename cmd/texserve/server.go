@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -27,15 +28,22 @@ type serverConfig struct {
 	RetryAfter time.Duration
 	// TraceDir, when set, attaches a persistent trace store tier.
 	TraceDir string
+	// ResultDir, when set, attaches a persistent tier to the shared
+	// result cache: finished NDJSON streams survive restarts as
+	// <sha256(key)>.result files.
+	ResultDir string
 	// RenderWorkers bounds tile-parallel rasterization per render.
 	RenderWorkers int
 }
 
 // server is the texserve HTTP state: one shared single-flight trace
 // cache (the coalescing tier — identical concurrent requests cost one
-// render), one fair scheduler (the capacity tier), and the handler mux.
+// render), one shared result cache (the memoization tier — repeated
+// requests replay nothing and are served stored bytes), one fair
+// scheduler (the capacity tier), and the handler mux.
 type server struct {
 	traces     *texcache.TraceCache
+	results    *texcache.ResultCache
 	sched      *scheduler
 	retryAfter time.Duration
 	mux        *http.ServeMux
@@ -51,6 +59,15 @@ func newServer(cfg serverConfig) (*server, error) {
 		}
 		tc.Store = store
 	}
+	// One result cache for all tenants: results are pure functions of
+	// the request (tenant and worker counts are erased from the key), so
+	// cross-tenant sharing leaks nothing and saves every repeat.
+	rc := texcache.NewResultCache()
+	if cfg.ResultDir != "" {
+		if err := rc.AttachDir(cfg.ResultDir); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Queue == 0 {
 		cfg.Queue = 16
 	}
@@ -59,6 +76,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s := &server{
 		traces:     tc,
+		results:    rc,
 		sched:      newScheduler(cfg.Workers, cfg.Queue),
 		retryAfter: cfg.RetryAfter,
 		mux:        http.NewServeMux(),
@@ -148,33 +166,51 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.sched.release()
 
-	results, err := texcache.Run(r.Context(), req, texcache.WithTraceProvider(s.traces))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-
 	// From here the stream is exactly texsim -json: the same NDJSON
-	// serializer over the same result channel. Per-result errors append
-	// a typed trailer line (the row stream for successful results is
-	// untouched, preserving byte-identity).
+	// serializer over the same result channel, fronted by the shared
+	// result cache (warm repeats are served stored bytes without
+	// touching the engine; grid requests always simulate). Per-result
+	// errors append a typed trailer line (the row stream for successful
+	// results is untouched, preserving byte-identity).
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
+	cw := &trackingWriter{w: w}
 	start := time.Now()
-	streamErr := texcache.WriteResultsNDJSON(w, results, func(res texcache.ExperimentResult) {
+	streamErr := texcache.RunNDJSON(r.Context(), req, cw, func(res texcache.ExperimentResult) {
 		if res.Err != nil {
-			json.NewEncoder(w).Encode(texcache.WrapRequestError(res.Err))
+			json.NewEncoder(cw).Encode(texcache.WrapRequestError(res.Err))
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
-	})
+	}, texcache.WithTraceProvider(s.traces), texcache.WithResultCache(s.results))
 	reg.Timer("request").Observe(time.Since(start))
 	if streamErr != nil {
+		if !cw.wrote {
+			// Nothing streamed yet (unknown experiment, bad scene): the
+			// client still gets the typed JSON error with its status code.
+			// Once rows are out, per-result errors already appended their
+			// trailer line and the status is fixed at 200.
+			writeError(w, streamErr)
+		}
 		reg.Counter("request_errors").Inc()
 	} else {
 		reg.Counter("completed").Inc()
 	}
+}
+
+// trackingWriter records whether any body bytes have been written, which
+// decides between a typed error response and an in-stream trailer.
+type trackingWriter struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		t.wrote = true
+	}
+	return t.w.Write(p)
 }
 
 // handleHealthz is the liveness probe.

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"texcache"
@@ -172,6 +173,129 @@ func TestHandlerGrid(t *testing.T) {
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("sharded grid request status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// postBody issues one experiment POST and returns the full response
+// body, failing on any non-200.
+func postBody(t *testing.T, url, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/experiments", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestHandlerResultCacheSingleFlight pins the tentpole invariant under
+// the race detector: 16 concurrent clients posting the same request
+// cost exactly one simulation, and every client receives byte-identical
+// NDJSON.
+func TestHandlerResultCacheSingleFlight(t *testing.T) {
+	s, ts := testServer(t, serverConfig{Workers: 4, Queue: 64})
+	const clients = 16
+	body := `{"experiments":["fig5.2"],"scenes":["goblet"],"scale":8}`
+
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("client %d body differs from client 0", i)
+		}
+	}
+	if len(bodies[0]) == 0 {
+		t.Fatal("empty response body")
+	}
+	if got := s.results.Produced(); got != 1 {
+		t.Errorf("%d concurrent clients caused %d simulations, want 1", clients, got)
+	}
+}
+
+// TestHandlerResultCacheWarm pins the warm path: a repeated request is
+// a result-cache hit with a byte-identical body, and a tenant change
+// does not fork the cache key.
+func TestHandlerResultCacheWarm(t *testing.T) {
+	s, ts := testServer(t, serverConfig{Workers: 1})
+	body := `{"scene":"goblet","scale":8,"configs":[{"size_bytes":16384,"line_bytes":64,"ways":2}]}`
+
+	cold := postBody(t, ts.URL, body)
+	warm := postBody(t, ts.URL, body)
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm response differs from cold")
+	}
+	if s.results.Hits() != 1 || s.results.Produced() != 1 {
+		t.Errorf("hits %d produced %d, want 1/1", s.results.Hits(), s.results.Produced())
+	}
+
+	// The cache is shared across tenants: only output-relevant fields key
+	// the entry.
+	other := `{"tenant":"other","scene":"goblet","scale":8,"configs":[{"size_bytes":16384,"line_bytes":64,"ways":2}]}`
+	if got := postBody(t, ts.URL, other); !bytes.Equal(got, cold) {
+		t.Error("tenant change forked the cached stream")
+	}
+	if s.results.Produced() != 1 {
+		t.Errorf("tenant change re-simulated: produced = %d", s.results.Produced())
+	}
+}
+
+// TestHandlerGridBypassesResultCache documents the bypass: grid rows
+// depend on pruning frontier state, so grid requests never enter the
+// result cache — but repeats are still byte-identical because the
+// exhaustive replay is deterministic.
+func TestHandlerGridBypassesResultCache(t *testing.T) {
+	s, ts := testServer(t, serverConfig{Workers: 1})
+	body := `{"scale":8,"grid":{"scenes":["town"],"configs":[{"size_bytes":2048,"line_bytes":64,"ways":1}]}}`
+	a := postBody(t, ts.URL, body)
+	b := postBody(t, ts.URL, body)
+	if !bytes.Equal(a, b) {
+		t.Error("repeated grid responses differ")
+	}
+	if s.results.Produced() != 0 || s.results.Hits() != 0 || s.results.Misses() != 0 {
+		t.Errorf("grid request touched the result cache: %d/%d/%d",
+			s.results.Produced(), s.results.Hits(), s.results.Misses())
+	}
+}
+
+// TestHandlerResultDirPersists pins the persistent tier over HTTP: a
+// fresh server on the same result directory serves the stored bytes
+// without simulating.
+func TestHandlerResultDirPersists(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"experiments":["table2.1"],"scenes":["goblet"],"scale":8}`
+
+	_, ts := testServer(t, serverConfig{Workers: 1, ResultDir: dir})
+	cold := postBody(t, ts.URL, body)
+
+	s2, ts2 := testServer(t, serverConfig{Workers: 1, ResultDir: dir})
+	warm := postBody(t, ts2.URL, body)
+	if !bytes.Equal(cold, warm) {
+		t.Error("restarted server serves different bytes")
+	}
+	if s2.results.Produced() != 0 || s2.results.StoreHits() != 1 {
+		t.Errorf("restart re-simulated: produced %d storeHits %d", s2.results.Produced(), s2.results.StoreHits())
 	}
 }
 

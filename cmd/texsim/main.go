@@ -63,6 +63,16 @@
 // simply regenerated; output is byte-identical with or without the
 // store.
 //
+// -result-dir adds the tier above that for -json runs: the finished
+// NDJSON stream itself is stored content-addressed (keyed by the
+// canonical request plus the API, trace-codec and result-format
+// versions), so repeating the same request replays stored bytes in
+// microseconds instead of re-simulating — byte-identical output either
+// way. Grid requests always simulate: with -prune their row set depends
+// on the accumulated frontier, so they bypass the result cache.
+//
+//	texsim -exp all -json -result-dir .results  # warm repeats are instant
+//
 // Sweeps default to the grouped single-pass simulator (-grouped): every
 // LRU configuration sharing a line size is answered from one walk of the
 // trace. -grouped=false replays one cache per configuration instead; the
@@ -274,6 +284,7 @@ func run() int {
 	flag.BoolVar(&f.prune, "prune", false, "skip -grid design points provably dominated on the miss-rate/cost frontier (the reported frontier is identical)")
 	flag.StringVar(&f.frontier, "frontier", "", "persist measured frontier points in this NDJSON file across -prune runs (requires -prune)")
 	traceDir := flag.String("trace-dir", "", "persist rendered traces in this directory and reuse them across runs (output is identical)")
+	resultDir := flag.String("result-dir", "", "persist finished -json result streams in this directory and serve repeat runs from it without re-simulating (output is byte-identical; grid requests always simulate)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -359,6 +370,12 @@ func run() int {
 	if *traceDir != "" {
 		opts = append(opts, texcache.WithTraceDir(*traceDir))
 	}
+	if *resultDir != "" {
+		// Consulted only on the NDJSON-serving path (-json, non-grid):
+		// the result cache stores finished NDJSON streams, so text tables
+		// and frontier-dependent grid runs always simulate.
+		opts = append(opts, texcache.WithResultDir(*resultDir))
+	}
 	if f.prune {
 		opts = append(opts, texcache.WithPruning(true))
 		if f.frontier != "" {
@@ -377,6 +394,23 @@ func run() int {
 	}
 
 	start := time.Now()
+	if req.Grid == nil && *jsonOut {
+		// Pure NDJSON on stdout, the exact bytes texserve streams for
+		// this request, served through the result cache when -result-dir
+		// is set: a warm repeat writes the stored stream without
+		// simulating. Failures go to stderr only.
+		firstErr := texcache.RunNDJSON(ctx, req, os.Stdout, func(r texcache.ExperimentResult) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "texsim: %s: %v\n", r.ID, r.Err)
+			}
+		}, opts...)
+		fmt.Fprintf(os.Stderr, "texsim: summary: %s\n", reg.SummaryLine())
+		if firstErr != nil {
+			return fail(firstErr)
+		}
+		return 0
+	}
+
 	results, err := texcache.Run(ctx, req, opts...)
 	if err != nil {
 		return fail(err)
@@ -409,21 +443,6 @@ func run() int {
 		}
 		return 0
 	}
-	if *jsonOut {
-		// Pure NDJSON on stdout, the exact bytes texserve streams for
-		// this request; failures go to stderr only.
-		firstErr = texcache.WriteResultsNDJSON(os.Stdout, results, func(r texcache.ExperimentResult) {
-			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "texsim: %s: %v\n", r.ID, r.Err)
-			}
-		})
-		fmt.Fprintf(os.Stderr, "texsim: summary: %s\n", reg.SummaryLine())
-		if firstErr != nil {
-			return fail(firstErr)
-		}
-		return 0
-	}
-
 	// Results arrive in completion order; buffer and print in request
 	// order so the output is deterministic.
 	done := 0

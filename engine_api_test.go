@@ -3,7 +3,6 @@ package texcache_test
 import (
 	"context"
 	"errors"
-	"strings"
 	"testing"
 	"time"
 
@@ -52,23 +51,42 @@ func TestConcurrentSweepMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestRunExperimentsMatchesSerial checks the engine's streamed output is
-// byte-identical to the serial path for every experiment in the batch.
-func TestRunExperimentsMatchesSerial(t *testing.T) {
+// runOutput executes a single-experiment request and returns its text
+// output, failing the test on any error — the serial reference the
+// batch comparison below measures against.
+func runOutput(t *testing.T, id string, scale int, scenes []string) string {
+	t.Helper()
+	results, err := texcache.Run(context.Background(), texcache.ExperimentRequest{
+		Experiments: []string{id}, Scale: scale, Scenes: scenes,
+	})
+	if err != nil {
+		t.Fatalf("serial %s: %v", id, err)
+	}
+	var out string
+	for r := range results {
+		if r.Err != nil {
+			t.Fatalf("serial %s: %v", id, r.Err)
+		}
+		out = r.Output
+	}
+	return out
+}
+
+// TestRunBatchMatchesSerial checks the engine's streamed output is
+// byte-identical to one-experiment-at-a-time runs for every experiment
+// in the batch.
+func TestRunBatchMatchesSerial(t *testing.T) {
 	ids := []string{"fig5.2", "fig5.7", "sectored"}
-	cfg := texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}}
+	scenes := []string{"goblet"}
 
 	want := map[string]string{}
 	for _, id := range ids {
-		var sb strings.Builder
-		if err := texcache.RunExperimentContext(context.Background(), id, cfg, &sb); err != nil {
-			t.Fatalf("serial %s: %v", id, err)
-		}
-		want[id] = sb.String()
+		want[id] = runOutput(t, id, 8, scenes)
 	}
 
-	results, err := texcache.RunExperiments(context.Background(), ids, cfg,
-		texcache.WithWorkers(3))
+	results, err := texcache.Run(context.Background(), texcache.ExperimentRequest{
+		Experiments: ids, Scale: 8, Scenes: scenes,
+	}, texcache.WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,22 +109,24 @@ func TestRunExperimentsMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestRunExperimentsUnknownID(t *testing.T) {
-	_, err := texcache.RunExperiments(context.Background(), []string{"nope"},
-		texcache.ExperimentConfig{Scale: 8})
+func TestRunUnknownID(t *testing.T) {
+	_, err := texcache.Run(context.Background(), texcache.ExperimentRequest{
+		Experiments: []string{"nope"}, Scale: 8,
+	})
 	var ue *texcache.UnknownExperimentError
 	if !errors.As(err, &ue) || ue.ID != "nope" {
 		t.Fatalf("err = %v, want *UnknownExperimentError{nope}", err)
 	}
 }
 
-// TestRunExperimentsCancellation verifies a cancelled context stops the
-// batch promptly, reporting the context error per experiment.
-func TestRunExperimentsCancellation(t *testing.T) {
+// TestRunCancellation verifies a cancelled context stops the batch
+// promptly, reporting the context error per experiment.
+func TestRunCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	results, err := texcache.RunExperiments(ctx, []string{"fig5.2", "fig5.7"},
-		texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}})
+	results, err := texcache.Run(ctx, texcache.ExperimentRequest{
+		Experiments: []string{"fig5.2", "fig5.7"}, Scale: 8, Scenes: []string{"goblet"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,6 +136,8 @@ func TestRunExperimentsCancellation(t *testing.T) {
 		for r := range results {
 			if r.Err == nil {
 				t.Errorf("%s completed under a cancelled context", r.ID)
+			} else if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("%s: err = %v, want context.Canceled", r.ID, r.Err)
 			}
 		}
 	}()
@@ -123,17 +145,6 @@ func TestRunExperimentsCancellation(t *testing.T) {
 	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("cancelled batch did not drain promptly")
-	}
-}
-
-func TestRunExperimentContextCancelled(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	var sb strings.Builder
-	err := texcache.RunExperimentContext(ctx, "fig5.2",
-		texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}}, &sb)
-	if !errors.Is(err, context.Canceled) {
-		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -37,10 +37,10 @@ func TestGoldenExperimentOutputs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("run without -race (make test's golden leg); byte-identity gains nothing from the race detector")
 	}
-	cfg := texcache.ExperimentConfig{Scale: goldenScale}
 	// One engine batch shares every (scene, layout, traversal) render
 	// across the experiments, which is far cheaper than 25 serial runs.
-	results, err := texcache.RunExperiments(context.Background(), nil, cfg)
+	results, err := texcache.Run(context.Background(),
+		texcache.ExperimentRequest{Scale: goldenScale})
 	if err != nil {
 		t.Fatal(err)
 	}

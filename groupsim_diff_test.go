@@ -85,8 +85,11 @@ func TestSweepModesProduceIdenticalOutput(t *testing.T) {
 	ids := []string{"fig5.7", "replacement"}
 	outputs := map[texcache.SweepMode]string{}
 	for _, mode := range []texcache.SweepMode{texcache.SweepGrouped, texcache.SweepPerConfig} {
-		cfg := texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}, Sweep: mode}
-		results, err := texcache.RunExperiments(context.Background(), ids, cfg)
+		req := texcache.ExperimentRequest{
+			Experiments: ids, Scale: 8, Scenes: []string{"goblet"},
+		}
+		results, err := texcache.Run(context.Background(), req,
+			texcache.WithSweepMode(mode))
 		if err != nil {
 			t.Fatal(err)
 		}

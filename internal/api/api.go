@@ -11,6 +11,7 @@
 package api
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -175,6 +176,30 @@ func (r ExperimentRequest) Normalized() ExperimentRequest {
 		r.Architecture = &a
 	}
 	return r
+}
+
+// ResultIdentity is the canonical byte form of everything the request's
+// output depends on: the Normalized request with the execution-only
+// fields erased. Tenant routes queuing, Workers/RenderWorkers set
+// parallelism, Sweep picks a replay strategy — all four are pinned
+// bit-identical on the output by the engine's determinism tests, so two
+// requests differing only there produce the same stream and share one
+// identity. Everything else (scene, scale, layout, traversal, configs,
+// architecture, grid, shard) changes the rows and stays in the key.
+// JSON field order is the struct declaration, so the encoding is stable.
+func (r ExperimentRequest) ResultIdentity() string {
+	n := r.Normalized()
+	n.Tenant = ""
+	n.Workers = 0
+	n.RenderWorkers = 0
+	n.Sweep = ""
+	b, err := json.Marshal(n)
+	if err != nil {
+		// Plain data fields only; Marshal cannot fail. Keep the error
+		// visible rather than silently aliasing keys if that ever changes.
+		panic("api: marshaling ExperimentRequest: " + err.Error())
+	}
+	return string(b)
 }
 
 // Layout is the wire form of texture.LayoutSpec: the kind travels as

@@ -96,6 +96,17 @@ type Options struct {
 	// points already in it, so re-runs (and a coordinator's workers
 	// sharing the path) skip points earlier measurements dominate.
 	FrontierFile string
+	// ResultCache, when non-nil, is the finished-stream memoization tier
+	// RunRequestNDJSON consults before running anything — the hook
+	// through which a long-running server serves repeated requests as
+	// stored bytes. Shared caches coalesce identical concurrent requests
+	// onto one simulation. ResultDir is ignored when it is set.
+	ResultCache *ResultCache
+	// ResultDir, when non-empty and ResultCache is nil, attaches a fresh
+	// result cache with a persistent tier rooted at this directory, so
+	// repeated NDJSON runs across process restarts are served from
+	// <sha256(key)>.result files instead of re-simulated.
+	ResultDir string
 }
 
 // Option mutates Options.
@@ -131,6 +142,19 @@ func WithPruning(on bool) Option { return func(o *Options) { o.Prune = on } }
 // the given append-only NDJSON file during pruned grid runs; empty
 // disables persistence.
 func WithFrontierFile(path string) Option { return func(o *Options) { o.FrontierFile = path } }
+
+// WithResultCache installs a shared result cache on the engine: every
+// cacheable RunRequestNDJSON call checks it before simulating, so
+// repeated requests are served as stored bytes and identical concurrent
+// requests coalesce onto one run.
+func WithResultCache(rc *ResultCache) Option {
+	return func(o *Options) { o.ResultCache = rc }
+}
+
+// WithResultDir attaches a persistent result store rooted at dir to a
+// fresh engine-owned result cache; empty disables result caching.
+// Ignored when WithResultCache installs a shared cache.
+func WithResultDir(dir string) Option { return func(o *Options) { o.ResultDir = dir } }
 
 // WithTraces installs a shared trace provider on the engine: every batch
 // run without its own Config.Traces uses it instead of a fresh
@@ -269,6 +293,23 @@ func (e *Engine) traces() (exp.TraceProvider, error) {
 		tc.Store = store
 	}
 	return tc, nil
+}
+
+// results resolves the result cache RunRequestNDJSON uses: the shared
+// cache when installed, else a fresh one with the persistent tier when
+// ResultDir is set, else nil (no result caching).
+func (e *Engine) results() (*ResultCache, error) {
+	if e.opts.ResultCache != nil {
+		return e.opts.ResultCache, nil
+	}
+	if e.opts.ResultDir == "" {
+		return nil, nil
+	}
+	rc := NewResultCache()
+	if err := rc.AttachDir(e.opts.ResultDir); err != nil {
+		return nil, err
+	}
+	return rc, nil
 }
 
 // resolve maps IDs to experiments, defaulting to the whole registry.

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"io"
 
+	"texcache/internal/api"
 	"texcache/internal/report"
 )
 
@@ -51,4 +53,40 @@ func StreamNDJSON(w io.Writer, results <-chan Result, onResult func(Result)) err
 		}
 	}
 	return firstErr
+}
+
+// RunRequestNDJSON executes req and writes its NDJSON stream to w —
+// RunRequest piped through StreamNDJSON, with the engine's result cache
+// (when configured and the request is Cacheable) consulted first. A
+// warm request is served as stored bytes, byte-identical to a fresh
+// run; a cold one simulates while streaming, and the finished stream is
+// cached for the next caller. Grid requests always simulate: their row
+// set depends on pruning frontier state (see Cacheable).
+//
+// onResult fires per finished result exactly as in StreamNDJSON on the
+// producing path; requests served from the cache complete without
+// callbacks since the stream is written whole.
+func (e *Engine) RunRequestNDJSON(ctx context.Context, req api.ExperimentRequest, w io.Writer, onResult func(Result)) error {
+	req = req.Normalized()
+	if err := api.Validate(req); err != nil {
+		return err
+	}
+	rc, err := e.results()
+	if err != nil {
+		return err
+	}
+	if rc == nil || !Cacheable(req) {
+		results, err := e.RunRequest(ctx, req)
+		if err != nil {
+			return err
+		}
+		return StreamNDJSON(w, results, onResult)
+	}
+	return rc.Serve(ctx, req, w, onResult, func(tw io.Writer, cb func(Result)) error {
+		results, err := e.RunRequest(ctx, req)
+		if err != nil {
+			return err
+		}
+		return StreamNDJSON(tw, results, cb)
+	})
 }

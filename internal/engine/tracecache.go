@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -22,12 +23,27 @@ type traceCacheKey struct {
 
 // traceEntry is one slot of the trace cache. ready is closed once
 // str/err are final; waiters block on it (or their context) instead of
-// holding the cache lock through a render.
+// holding the cache lock through a render. elem is the entry's LRU node,
+// nil while the production is in flight (in-flight entries are never
+// evicted); size is the stream's resident footprint.
 type traceEntry struct {
+	key   traceCacheKey
 	ready chan struct{}
 	str   cache.AddrStream
 	err   error
+	elem  *list.Element
+	size  int64
 }
+
+// Default budgets for the memory tier: enough for any one batch's
+// working set, small enough that a long-lived texserve mixing many
+// (scene, scale, layout, traversal) keys stays bounded. Evicted traces
+// re-render (or re-load from the store) bit-identically on the next
+// request, so eviction is never a correctness event.
+const (
+	defaultTraceMaxEntries = 512
+	defaultTraceMaxBytes   = 512 << 20
+)
 
 // TraceCache memoizes rendered traces keyed by (scene, layout, traversal,
 // scale) with single-flight semantics: when several experiments request
@@ -59,15 +75,25 @@ type TraceCache struct {
 	// call.
 	Store *trace.Store
 
+	// MaxEntries and MaxBytes bound the memory tier; above either budget
+	// the least-recently-used completed entry is evicted. Zero means the
+	// default budget (512 entries, 512MB), negative means unlimited. Set
+	// before the first SceneTrace call.
+	MaxEntries int
+	MaxBytes   int64
+
 	mu        sync.Mutex
 	entries   map[traceCacheKey]*traceEntry
-	renders   int // number of actual renders performed, for tests/metrics
-	storeHits int // number of loads served by the persistent tier
+	lru       *list.List // completed entries, front = most recently used
+	bytes     int64      // sum of completed entry sizes
+	renders   int        // number of actual renders performed, for tests/metrics
+	storeHits int        // number of loads served by the persistent tier
+	evictions int        // completed entries dropped to stay within budget
 }
 
-// NewTraceCache returns an empty trace cache.
+// NewTraceCache returns an empty trace cache with default budgets.
 func NewTraceCache() *TraceCache {
-	return &TraceCache{entries: map[traceCacheKey]*traceEntry{}}
+	return &TraceCache{entries: map[traceCacheKey]*traceEntry{}, lru: list.New()}
 }
 
 // Renders reports how many renders the cache has actually performed —
@@ -88,6 +114,24 @@ func (tc *TraceCache) StoreHits() int {
 	return tc.storeHits
 }
 
+// Evictions reports how many completed entries the memory tier has
+// dropped to stay within its budget.
+func (tc *TraceCache) Evictions() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.evictions
+}
+
+// Len reports the number of completed entries resident in memory.
+func (tc *TraceCache) Len() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.lru == nil {
+		return 0
+	}
+	return tc.lru.Len()
+}
+
 // SceneTrace returns the address stream for key at the given scale,
 // producing it (store load, else render) on the calling goroutine if no
 // other request got there first. Waiters respect ctx: a cancelled waiter
@@ -101,7 +145,13 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 
 	reg := obs.Default().Sub("engine").Sub("trace_cache")
 	tc.mu.Lock()
+	if tc.lru == nil {
+		tc.lru = list.New()
+	}
 	if e, ok := tc.entries[ck]; ok {
+		if e.elem != nil {
+			tc.lru.MoveToFront(e.elem)
+		}
 		tc.mu.Unlock()
 		// A hit is any request served by an existing entry, including
 		// dedupe hits that wait on an in-flight production.
@@ -113,7 +163,7 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 			return nil, ctx.Err()
 		}
 	}
-	e := &traceEntry{ready: make(chan struct{})}
+	e := &traceEntry{key: ck, ready: make(chan struct{})}
 	tc.entries[ck] = e
 	tc.mu.Unlock()
 
@@ -123,9 +173,58 @@ func (tc *TraceCache) SceneTrace(ctx context.Context, key exp.TraceKey, scale in
 		tc.mu.Lock()
 		delete(tc.entries, ck)
 		tc.mu.Unlock()
+	} else {
+		tc.install(e, reg)
 	}
 	close(e.ready)
 	return e.str, e.err
+}
+
+// install publishes a completed entry into the LRU and evicts over
+// budget. Evicted entries simply leave the map: a stream already handed
+// to replayers stays valid (it is immutable), and the next request for
+// its key re-produces it bit-identically.
+func (tc *TraceCache) install(e *traceEntry, reg *obs.Registry) {
+	e.size = streamSize(e.str)
+	maxEntries, maxBytes := tc.MaxEntries, tc.MaxBytes
+	if maxEntries == 0 {
+		maxEntries = defaultTraceMaxEntries
+	}
+	if maxBytes == 0 {
+		maxBytes = defaultTraceMaxBytes
+	}
+	tc.mu.Lock()
+	e.elem = tc.lru.PushFront(e)
+	tc.bytes += e.size
+	evicted := 0
+	for tc.lru.Len() > 1 &&
+		((maxEntries > 0 && tc.lru.Len() > maxEntries) ||
+			(maxBytes > 0 && tc.bytes > maxBytes)) {
+		back := tc.lru.Back()
+		v := back.Value.(*traceEntry)
+		tc.lru.Remove(back)
+		delete(tc.entries, v.key)
+		tc.bytes -= v.size
+		tc.evictions++
+		evicted++
+	}
+	tc.mu.Unlock()
+	for i := 0; i < evicted; i++ {
+		reg.Counter("evictions").Inc()
+	}
+}
+
+// streamSize estimates a stream's resident footprint: the compact
+// encoding reports its exact byte size, anything else is approximated
+// by its address count.
+func streamSize(str cache.AddrStream) int64 {
+	if sized, ok := str.(interface{ SizeBytes() int }); ok {
+		return int64(sized.SizeBytes())
+	}
+	if str == nil {
+		return 0
+	}
+	return int64(str.Len())
 }
 
 // produce fills one cache slot: persistent tier first, then a render

@@ -1,6 +1,8 @@
 package texcache_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -90,28 +92,36 @@ func TestSceneFacade(t *testing.T) {
 	}
 }
 
-func TestRunExperimentFacade(t *testing.T) {
+func TestRunFacade(t *testing.T) {
 	ids := texcache.ExperimentIDs()
 	if len(ids) < 10 {
 		t.Fatalf("only %d experiments registered", len(ids))
 	}
-	var sb strings.Builder
-	err := texcache.RunExperiment("table4.1",
-		texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}}, &sb)
+	results, err := texcache.Run(context.Background(), texcache.ExperimentRequest{
+		Experiments: []string{"table4.1"}, Scale: 8, Scenes: []string{"goblet"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "goblet") {
-		t.Errorf("experiment output malformed: %s", sb.String())
+	var out strings.Builder
+	for r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		out.WriteString(r.Output)
 	}
-	err = texcache.RunExperiment("bogus", texcache.ExperimentConfig{}, &sb)
+	if !strings.Contains(out.String(), "goblet") {
+		t.Errorf("experiment output malformed: %s", out.String())
+	}
+	_, err = texcache.Run(context.Background(), texcache.ExperimentRequest{
+		Experiments: []string{"bogus"},
+	})
 	var unknown *texcache.UnknownExperimentError
 	if err == nil {
 		t.Error("bogus experiment accepted")
-	} else if !strings.Contains(err.Error(), "bogus") {
-		t.Errorf("error %v does not name the experiment", err)
+	} else if !errors.As(err, &unknown) || unknown.ID != "bogus" {
+		t.Errorf("error %v does not unwrap to *UnknownExperimentError{bogus}", err)
 	}
-	_ = unknown
 }
 
 func TestPerfModelFacade(t *testing.T) {

@@ -75,9 +75,10 @@ var storeBenchIDs = []string{"fig5.2", "fig5.7"}
 // store directory and fails the test on any experiment error.
 func runWithTraceDir(tb testing.TB, dir string, scale int) {
 	tb.Helper()
-	cfg := texcache.ExperimentConfig{Scale: scale, Scenes: []string{"goblet"}}
-	results, err := texcache.RunExperiments(context.Background(), storeBenchIDs, cfg,
-		texcache.WithTraceDir(dir))
+	req := texcache.ExperimentRequest{
+		Experiments: storeBenchIDs, Scale: scale, Scenes: []string{"goblet"},
+	}
+	results, err := texcache.Run(context.Background(), req, texcache.WithTraceDir(dir))
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -133,10 +134,12 @@ func TestTraceStoreWarmSpeedup(t *testing.T) {
 // text with no store, with a cold store, and with a warm store.
 func TestTraceDirOutputIdentical(t *testing.T) {
 	const id = "fig5.4"
-	cfg := texcache.ExperimentConfig{Scale: 8, Scenes: []string{"goblet"}}
+	req := texcache.ExperimentRequest{
+		Experiments: []string{id}, Scale: 8, Scenes: []string{"goblet"},
+	}
 	run := func(opts ...texcache.ExperimentOption) string {
 		t.Helper()
-		results, err := texcache.RunExperiments(context.Background(), []string{id}, cfg, opts...)
+		results, err := texcache.Run(context.Background(), req, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
